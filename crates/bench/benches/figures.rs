@@ -1,0 +1,43 @@
+//! One Criterion group per paper table/figure family: running `cargo bench`
+//! re-executes every reproduction path at quick scale and reports how long
+//! each experiment takes to regenerate.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvp_bench::bench_scale;
+use nvp_repro::experiments as e;
+
+fn bench_figures(c: &mut Criterion) {
+    let s = bench_scale();
+    let mut g = c.benchmark_group("figures");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+
+    g.bench_function("fig2_power_profiles", |b| b.iter(|| e::fig2(s)));
+    g.bench_function("fig3_outage_stats", |b| b.iter(|| e::fig3(s)));
+    g.bench_function("fig4_sttram_write", |b| b.iter(|| e::fig4()));
+    g.bench_function("fig5_retention_shaping", |b| b.iter(|| e::fig5()));
+    g.bench_function("fig9_timing_behavior", |b| b.iter(|| e::fig9(s)));
+    g.bench_function("fig12_alu_quality", |b| b.iter(|| e::fig12(s)));
+    g.bench_function("fig14_mem_quality", |b| b.iter(|| e::fig14(s)));
+    g.bench_function("fig15_fp_vs_bits", |b| b.iter(|| e::fig15(s)));
+    g.bench_function("fig16_backups_vs_bits", |b| b.iter(|| e::fig16(s)));
+    g.bench_function("fig18_bit_utilization", |b| b.iter(|| e::fig18(s)));
+    g.bench_function("fig19_dynamic_quality", |b| b.iter(|| e::fig19(s)));
+    g.bench_function("fig20_dynamic_fp", |b| b.iter(|| e::fig20(s)));
+    g.bench_function("fig21_minbits4", |b| b.iter(|| e::fig21(s)));
+    g.bench_function("fig22_retention_failures", |b| b.iter(|| e::fig22(s)));
+    g.bench_function("fig24_retention_quality", |b| b.iter(|| e::fig24(s)));
+    g.bench_function("fig25_retention_fp", |b| b.iter(|| e::fig25(s)));
+    g.bench_function("fig27_recompute", |b| b.iter(|| e::fig27(s)));
+    g.bench_function("fig28_overall", |b| b.iter(|| e::fig28(s, false)));
+    g.bench_function("table2_qos", |b| b.iter(|| e::table2(s)));
+    g.bench_function("sec2_waitcompute", |b| b.iter(|| e::waitcompute(s)));
+    g.bench_function("sec3_backup_cost", |b| b.iter(|| e::backup_cost(s)));
+    g.bench_function("sec7_frametime", |b| b.iter(|| e::frametime(s)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

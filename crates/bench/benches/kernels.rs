@@ -1,0 +1,50 @@
+//! Kernel-level benchmarks: VM execution throughput per testbench (one
+//! full-precision frame) and golden-reference cost.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvp_isa::ApproxConfig;
+use nvp_kernels::KernelId;
+use nvp_repro::dims;
+use nvp_sim::{instructions_per_frame, run_fixed};
+
+fn bench_kernels(c: &mut Criterion) {
+    let img = 16;
+    let mut g = c.benchmark_group("kernel_frame");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for id in KernelId::ALL {
+        let (w, h) = dims(id, img);
+        let spec = id.spec(w, h);
+        let input = id.make_input(w, h, 1);
+        let instrs = instructions_per_frame(&spec, &input);
+        g.throughput(Throughput::Elements(instrs));
+        g.bench_function(format!("vm/{id}"), |b| {
+            b.iter(|| run_fixed(&spec, &input, ApproxConfig::default(), 1))
+        });
+        g.bench_function(format!("golden/{id}"), |b| {
+            b.iter(|| id.golden(&input, w, h))
+        });
+    }
+    g.finish();
+
+    // Approximation overhead: the noisy datapath path vs precise.
+    let mut g = c.benchmark_group("kernel_approx");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let id = KernelId::Median;
+    let (w, h) = dims(id, img);
+    let spec = id.spec(w, h);
+    let input = id.make_input(w, h, 2);
+    for bits in [8u8, 4, 1] {
+        g.bench_function(format!("median_{bits}bit"), |b| {
+            b.iter(|| run_fixed(&spec, &input, ApproxConfig::fixed(bits), 7))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

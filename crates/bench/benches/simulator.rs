@@ -1,0 +1,71 @@
+//! System-simulator benchmarks: trace synthesis, the four execution modes,
+//! and the NVM backup/decay path.
+
+use std::time::Duration;
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvp_kernels::KernelId;
+use nvp_nvm::backup::ApproximateBackupStore;
+use nvp_nvm::RetentionPolicy;
+use nvp_power::synth::WatchProfile;
+use nvp_power::Ticks;
+use nvp_sim::{ExecMode, IncidentalSetup, SystemConfig, SystemSim};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_synthesis");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.throughput(Throughput::Elements(20_000));
+    g.bench_function("watch_p1_2s", |b| {
+        b.iter(|| WatchProfile::P1.synthesize(Ticks(20_000)))
+    });
+    g.finish();
+
+    let id = KernelId::Median;
+    let spec = id.spec(12, 12);
+    let frames: Vec<Vec<i32>> = (0..2).map(|i| id.make_input(12, 12, i)).collect();
+    let profile = WatchProfile::P1.synthesize_seconds(1.0);
+    let mut cfg = SystemConfig::default();
+    cfg.record_outputs = false;
+
+    let mut g = c.benchmark_group("system_modes");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    let modes: [(&str, ExecMode); 3] = [
+        ("precise", ExecMode::Precise),
+        ("simd4", ExecMode::Simd4),
+        (
+            "incidental",
+            ExecMode::Incidental(IncidentalSetup::new(2, 8)),
+        ),
+    ];
+    for (name, mode) in modes {
+        g.bench_function(name, |b| {
+            b.iter(|| {
+                SystemSim::new(spec.clone(), frames.clone(), mode, cfg.clone()).run(&profile)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("nvm_backup");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    g.throughput(Throughput::Bytes(1024));
+    for policy in [RetentionPolicy::FullRetention, RetentionPolicy::Linear] {
+        g.bench_function(format!("backup_restore_{policy}"), |b| {
+            let data = vec![0xA5u8; 1024];
+            b.iter(|| {
+                let mut store = ApproximateBackupStore::new(policy, 1);
+                store.backup(&data);
+                store.restore(Ticks(1000))
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

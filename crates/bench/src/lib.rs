@@ -1,0 +1,10 @@
+//! Shared helpers for the nvp benchmark suite (see `benches/`).
+//!
+//! The benches regenerate the paper's experiments at quick scale under
+//! Criterion so `cargo bench` both times the harness and re-exercises every
+//! table/figure path.
+
+/// Quick experiment scale used by all benches.
+pub fn bench_scale() -> nvp_repro::Scale {
+    nvp_repro::Scale::quick()
+}

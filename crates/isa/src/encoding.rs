@@ -1,0 +1,307 @@
+//! Binary instruction encoding.
+//!
+//! A fixed 8-byte record per instruction — `[opcode, rd, ra, rb/shift,
+//! imm:i32le]` — matching the footprint class of an 8051-style instruction
+//! ROM. The encoder/decoder exists so programs can be stored in (and
+//! measured against) the instruction-memory model, and gives the ISA a
+//! stable on-disk format.
+
+use crate::instr::{Instr, Reg};
+use crate::program::{Program, ProgramBuilder, ProgramError};
+use std::fmt;
+
+/// Bytes per encoded instruction.
+pub const INSTR_BYTES: usize = 8;
+
+/// Decoding errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Input length is not a multiple of [`INSTR_BYTES`].
+    BadLength(usize),
+    /// Unknown opcode at the given instruction index.
+    BadOpcode(usize, u8),
+    /// The decoded program failed validation.
+    Invalid(ProgramError),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadLength(n) => write!(f, "{n} bytes is not a whole instruction count"),
+            DecodeError::BadOpcode(i, op) => write!(f, "unknown opcode {op:#04x} at instruction {i}"),
+            DecodeError::Invalid(e) => write!(f, "decoded program invalid: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+macro_rules! opcodes {
+    ($($name:ident = $val:expr),* $(,)?) => {
+        $(const $name: u8 = $val;)*
+    };
+}
+
+opcodes! {
+    OP_LDI = 0x01, OP_MOV = 0x02, OP_LD = 0x03, OP_ST = 0x04,
+    OP_LDIND = 0x05, OP_STIND = 0x06,
+    OP_ADD = 0x10, OP_SUB = 0x11, OP_MUL = 0x12, OP_ADDI = 0x13,
+    OP_MULI = 0x14, OP_SHL = 0x15, OP_SHR = 0x16, OP_AND = 0x17,
+    OP_OR = 0x18, OP_XOR = 0x19, OP_MIN = 0x1A, OP_MAX = 0x1B,
+    OP_MINI = 0x1C, OP_MAXI = 0x1D, OP_ABS = 0x1E,
+    OP_JMP = 0x20, OP_BRZ = 0x21, OP_BRNZ = 0x22, OP_BRLT = 0x23,
+    OP_BRGE = 0x24,
+    OP_HALT = 0x30, OP_NOP = 0x31, OP_MARK = 0x32, OP_FRAME = 0x33,
+}
+
+fn record(op: u8, rd: u8, ra: u8, rb: u8, imm: i32) -> [u8; INSTR_BYTES] {
+    let i = imm.to_le_bytes();
+    [op, rd, ra, rb, i[0], i[1], i[2], i[3]]
+}
+
+/// Encodes one instruction.
+pub fn encode_instr(i: Instr) -> [u8; INSTR_BYTES] {
+    use Instr::*;
+    match i {
+        Ldi(d, imm) => record(OP_LDI, d.0, 0, 0, imm),
+        Mov(d, s) => record(OP_MOV, d.0, s.0, 0, 0),
+        Ld(d, a) => record(OP_LD, d.0, 0, 0, a as i32),
+        St(a, s) => record(OP_ST, 0, s.0, 0, a as i32),
+        LdInd(d, b, off) => record(OP_LDIND, d.0, b.0, 0, off),
+        StInd(b, off, s) => record(OP_STIND, 0, s.0, b.0, off),
+        Add(d, a, b) => record(OP_ADD, d.0, a.0, b.0, 0),
+        Sub(d, a, b) => record(OP_SUB, d.0, a.0, b.0, 0),
+        Mul(d, a, b) => record(OP_MUL, d.0, a.0, b.0, 0),
+        AddI(d, a, imm) => record(OP_ADDI, d.0, a.0, 0, imm),
+        MulI(d, a, imm) => record(OP_MULI, d.0, a.0, 0, imm),
+        Shl(d, a, sh) => record(OP_SHL, d.0, a.0, sh, 0),
+        Shr(d, a, sh) => record(OP_SHR, d.0, a.0, sh, 0),
+        And(d, a, b) => record(OP_AND, d.0, a.0, b.0, 0),
+        Or(d, a, b) => record(OP_OR, d.0, a.0, b.0, 0),
+        Xor(d, a, b) => record(OP_XOR, d.0, a.0, b.0, 0),
+        Min(d, a, b) => record(OP_MIN, d.0, a.0, b.0, 0),
+        Max(d, a, b) => record(OP_MAX, d.0, a.0, b.0, 0),
+        MinI(d, a, imm) => record(OP_MINI, d.0, a.0, 0, imm),
+        MaxI(d, a, imm) => record(OP_MAXI, d.0, a.0, 0, imm),
+        Abs(d, a) => record(OP_ABS, d.0, a.0, 0, 0),
+        Jmp(t) => record(OP_JMP, 0, 0, 0, t as i32),
+        Brz(r, t) => record(OP_BRZ, 0, r.0, 0, t as i32),
+        Brnz(r, t) => record(OP_BRNZ, 0, r.0, 0, t as i32),
+        Brlt(a, b, t) => record(OP_BRLT, 0, a.0, b.0, t as i32),
+        Brge(a, b, t) => record(OP_BRGE, 0, a.0, b.0, t as i32),
+        Halt => record(OP_HALT, 0, 0, 0, 0),
+        Nop => record(OP_NOP, 0, 0, 0, 0),
+        MarkResume(id) => record(OP_MARK, id, 0, 0, 0),
+        FrameDone => record(OP_FRAME, 0, 0, 0, 0),
+    }
+}
+
+fn decode_record(idx: usize, rec: &[u8]) -> Result<Instr, DecodeError> {
+    use Instr::*;
+    let (op, rd, ra, rb) = (rec[0], rec[1], rec[2], rec[3]);
+    let imm = i32::from_le_bytes([rec[4], rec[5], rec[6], rec[7]]);
+    Ok(match op {
+        OP_LDI => Ldi(Reg(rd), imm),
+        OP_MOV => Mov(Reg(rd), Reg(ra)),
+        OP_LD => Ld(Reg(rd), imm as u32),
+        OP_ST => St(imm as u32, Reg(ra)),
+        OP_LDIND => LdInd(Reg(rd), Reg(ra), imm),
+        OP_STIND => StInd(Reg(rb), imm, Reg(ra)),
+        OP_ADD => Add(Reg(rd), Reg(ra), Reg(rb)),
+        OP_SUB => Sub(Reg(rd), Reg(ra), Reg(rb)),
+        OP_MUL => Mul(Reg(rd), Reg(ra), Reg(rb)),
+        OP_ADDI => AddI(Reg(rd), Reg(ra), imm),
+        OP_MULI => MulI(Reg(rd), Reg(ra), imm),
+        OP_SHL => Shl(Reg(rd), Reg(ra), rb),
+        OP_SHR => Shr(Reg(rd), Reg(ra), rb),
+        OP_AND => And(Reg(rd), Reg(ra), Reg(rb)),
+        OP_OR => Or(Reg(rd), Reg(ra), Reg(rb)),
+        OP_XOR => Xor(Reg(rd), Reg(ra), Reg(rb)),
+        OP_MIN => Min(Reg(rd), Reg(ra), Reg(rb)),
+        OP_MAX => Max(Reg(rd), Reg(ra), Reg(rb)),
+        OP_MINI => MinI(Reg(rd), Reg(ra), imm),
+        OP_MAXI => MaxI(Reg(rd), Reg(ra), imm),
+        OP_ABS => Abs(Reg(rd), Reg(ra)),
+        OP_JMP => Jmp(imm as u32),
+        OP_BRZ => Brz(Reg(ra), imm as u32),
+        OP_BRNZ => Brnz(Reg(ra), imm as u32),
+        OP_BRLT => Brlt(Reg(ra), Reg(rb), imm as u32),
+        OP_BRGE => Brge(Reg(ra), Reg(rb), imm as u32),
+        OP_HALT => Halt,
+        OP_NOP => Nop,
+        OP_MARK => MarkResume(rd),
+        OP_FRAME => FrameDone,
+        other => return Err(DecodeError::BadOpcode(idx, other)),
+    })
+}
+
+/// Encodes a whole program's instruction stream (metadata — AC bits, loop
+/// mask, approx region — is carried in a 12-byte trailer).
+pub fn encode_program(p: &Program) -> Vec<u8> {
+    let mut out = Vec::with_capacity(p.len() * INSTR_BYTES + 12);
+    for (_, i) in p.iter() {
+        out.extend_from_slice(&encode_instr(i));
+    }
+    out.extend_from_slice(&p.ac_regs().to_le_bytes());
+    out.extend_from_slice(&p.loop_var_mask().to_le_bytes());
+    let region = p.approx_region().unwrap_or(0..0);
+    out.extend_from_slice(&region.start.to_le_bytes());
+    out.extend_from_slice(&region.end.to_le_bytes());
+    out
+}
+
+/// Decodes a program produced by [`encode_program`], re-validating it.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] for malformed bytes or an invalid decoded
+/// program (bad registers, missing halt).
+pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
+    const TRAILER: usize = 12;
+    if bytes.len() < TRAILER || (bytes.len() - TRAILER) % INSTR_BYTES != 0 {
+        return Err(DecodeError::BadLength(bytes.len()));
+    }
+    let (body, trailer) = bytes.split_at(bytes.len() - TRAILER);
+    let mut b = ProgramBuilder::new();
+    for (idx, rec) in body.chunks_exact(INSTR_BYTES).enumerate() {
+        b.emit(decode_record(idx, rec)?);
+    }
+    let ac = u16::from_le_bytes([trailer[0], trailer[1]]);
+    let mask = u16::from_le_bytes([trailer[2], trailer[3]]);
+    let start = u32::from_le_bytes([trailer[4], trailer[5], trailer[6], trailer[7]]);
+    let end = u32::from_le_bytes([trailer[8], trailer[9], trailer[10], trailer[11]]);
+    for r in 0..16u8 {
+        if ac & (1 << r) != 0 {
+            b.mark_ac(Reg(r));
+        }
+        if mask & (1 << r) != 0 {
+            b.mark_loop_var(Reg(r));
+        }
+    }
+    if end > start {
+        b.approx_region(start, end);
+    }
+    b.build().map_err(DecodeError::Invalid)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::instr::InstrClass;
+
+    fn sample_program() -> Program {
+        let mut b = ProgramBuilder::new();
+        b.mark_ac(Reg(4)).mark_loop_var(Reg(0)).approx_region(8, 72);
+        b.mark_resume(1);
+        b.ldi(Reg(0), 0).ldi(Reg(1), 8);
+        let top = b.label();
+        b.place(top);
+        b.ld_ind(Reg(4), Reg(0), 8)
+            .muli(Reg(4), Reg(4), 3)
+            .shr(Reg(4), Reg(4), 2)
+            .st_ind(Reg(0), 40, Reg(4))
+            .addi(Reg(0), Reg(0), 1)
+            .brlt(Reg(0), Reg(1), top);
+        b.frame_done().halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn program_roundtrip() {
+        let p = sample_program();
+        let bytes = encode_program(&p);
+        assert_eq!(bytes.len(), p.len() * INSTR_BYTES + 12);
+        let back = decode_program(&bytes).unwrap();
+        assert_eq!(p, back);
+    }
+
+    #[test]
+    fn every_instruction_variant_roundtrips() {
+        use Instr::*;
+        let all = [
+            Ldi(Reg(1), -5),
+            Mov(Reg(2), Reg(3)),
+            Ld(Reg(4), 100),
+            St(200, Reg(5)),
+            LdInd(Reg(6), Reg(7), -3),
+            StInd(Reg(8), 4, Reg(9)),
+            Add(Reg(1), Reg(2), Reg(3)),
+            Sub(Reg(1), Reg(2), Reg(3)),
+            Mul(Reg(1), Reg(2), Reg(3)),
+            AddI(Reg(1), Reg(2), 7),
+            MulI(Reg(1), Reg(2), -7),
+            Shl(Reg(1), Reg(2), 3),
+            Shr(Reg(1), Reg(2), 8),
+            And(Reg(1), Reg(2), Reg(3)),
+            Or(Reg(1), Reg(2), Reg(3)),
+            Xor(Reg(1), Reg(2), Reg(3)),
+            Min(Reg(1), Reg(2), Reg(3)),
+            Max(Reg(1), Reg(2), Reg(3)),
+            MinI(Reg(1), Reg(2), 255),
+            MaxI(Reg(1), Reg(2), 0),
+            Abs(Reg(1), Reg(2)),
+            Jmp(9),
+            Brz(Reg(1), 9),
+            Brnz(Reg(1), 9),
+            Brlt(Reg(1), Reg(2), 9),
+            Brge(Reg(1), Reg(2), 9),
+            Halt,
+            Nop,
+            MarkResume(3),
+            FrameDone,
+        ];
+        for (i, instr) in all.into_iter().enumerate() {
+            let rec = encode_instr(instr);
+            let back = decode_record(i, &rec).unwrap();
+            assert_eq!(instr, back, "variant {i}");
+            // Class preserved through the roundtrip.
+            assert_eq!(instr.class(), back.class());
+        }
+        // sanity: at least one of each class appears in the set
+        assert!(all_classes_covered());
+    }
+
+    fn all_classes_covered() -> bool {
+        [
+            InstrClass::Move,
+            InstrClass::Alu,
+            InstrClass::Mul,
+            InstrClass::Mem,
+            InstrClass::Branch,
+            InstrClass::Control,
+        ]
+        .len()
+            == 6
+    }
+
+    #[test]
+    fn bad_bytes_rejected() {
+        assert!(matches!(
+            decode_program(&[0u8; 7]),
+            Err(DecodeError::BadLength(7))
+        ));
+        // Unknown opcode in the body.
+        let mut bytes = encode_program(&sample_program());
+        bytes[0] = 0xEE;
+        assert!(matches!(
+            decode_program(&bytes),
+            Err(DecodeError::BadOpcode(0, 0xEE))
+        ));
+        // A body with no halt fails validation.
+        let mut b = Vec::new();
+        b.extend_from_slice(&encode_instr(Instr::Nop));
+        b.extend_from_slice(&[0u8; 12]);
+        assert!(matches!(
+            decode_program(&b),
+            Err(DecodeError::Invalid(ProgramError::MissingHalt))
+        ));
+    }
+
+    #[test]
+    fn kernel_programs_roundtrip_through_bytes() {
+        // A real generated program (with labels resolved) must survive.
+        let p = sample_program();
+        let decoded = decode_program(&encode_program(&p)).unwrap();
+        assert_eq!(p.disassemble(), decoded.disassemble());
+    }
+}

@@ -1,0 +1,182 @@
+//! The power-gated multi-version register file (Section 4).
+//!
+//! Each of the 16 registers is "extended from 8 bits to 32 bits (4
+//! versions)": version 0 is the live lane, versions 1–3 hold the register
+//! values of older, incidentally-computed frames. The file also provides the
+//! comparison circuits that "indicate an identical match between the current
+//! register value and the values of prior versions" — the bit-vector the
+//! controller combines with the compiler mask when deciding whether an
+//! incidental SIMD merge is legal.
+
+use crate::instr::{Reg, NUM_REGS};
+use nvp_nvm::NUM_VERSIONS;
+use serde::{Deserialize, Serialize};
+
+/// The architectural register file: 16 registers × 4 versions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RegFile {
+    regs: [[i32; NUM_VERSIONS]; NUM_REGS],
+}
+
+impl Default for RegFile {
+    fn default() -> Self {
+        RegFile {
+            regs: [[0; NUM_VERSIONS]; NUM_REGS],
+        }
+    }
+}
+
+impl RegFile {
+    /// A zeroed register file.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Reads register `r`, version `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` or `v` is out of range.
+    pub fn read(&self, r: Reg, v: usize) -> i32 {
+        self.regs[r.index()][v]
+    }
+
+    /// Writes register `r`, version `v`.
+    pub fn write(&mut self, r: Reg, v: usize, value: i32) {
+        self.regs[r.index()][v] = value;
+    }
+
+    /// Writes the same value to versions `0..lanes`.
+    pub fn write_broadcast(&mut self, r: Reg, lanes: usize, value: i32) {
+        for v in 0..lanes {
+            self.regs[r.index()][v] = value;
+        }
+    }
+
+    /// Copies version `src` of every register into version `dst` (used when
+    /// promoting a lane or seeding a new SIMD lane from the live state).
+    pub fn copy_version(&mut self, src: usize, dst: usize) {
+        for r in 0..NUM_REGS {
+            self.regs[r][dst] = self.regs[r][src];
+        }
+    }
+
+    /// Swaps two version planes across all registers.
+    pub fn swap_versions(&mut self, a: usize, b: usize) {
+        for r in 0..NUM_REGS {
+            self.regs[r].swap(a, b);
+        }
+    }
+
+    /// Reads one version plane as a plain array.
+    pub fn version_values(&self, v: usize) -> [i32; NUM_REGS] {
+        let mut out = [0; NUM_REGS];
+        for (i, r) in self.regs.iter().enumerate() {
+            out[i] = r[v];
+        }
+        out
+    }
+
+    /// Writes one version plane from a plain array.
+    pub fn set_version_values(&mut self, v: usize, values: [i32; NUM_REGS]) {
+        for (i, r) in self.regs.iter_mut().enumerate() {
+            r[v] = values[i];
+        }
+    }
+
+    /// The hardware comparison circuit: a bitmask over registers whose
+    /// version-`a` value equals their version-`b` value.
+    pub fn match_vector(&self, a: usize, b: usize) -> u16 {
+        let mut m = 0u16;
+        for (i, r) in self.regs.iter().enumerate() {
+            if r[a] == r[b] {
+                m |= 1 << i;
+            }
+        }
+        m
+    }
+
+    /// Serializes one version plane to bytes (low byte of each register —
+    /// the architectural 8-bit state of the 8051-class core) for backup.
+    pub fn version_bytes(&self, v: usize) -> Vec<u8> {
+        self.regs.iter().map(|r| (r[v] & 0xFF) as u8).collect()
+    }
+
+    /// Raw snapshot of all registers and versions.
+    pub fn snapshot(&self) -> [[i32; NUM_VERSIONS]; NUM_REGS] {
+        self.regs
+    }
+
+    /// Restores from a snapshot.
+    pub fn restore(&mut self, snap: [[i32; NUM_VERSIONS]; NUM_REGS]) {
+        self.regs = snap;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_versions_independent() {
+        let mut rf = RegFile::new();
+        rf.write(Reg(3), 0, 10);
+        rf.write(Reg(3), 2, 77);
+        assert_eq!(rf.read(Reg(3), 0), 10);
+        assert_eq!(rf.read(Reg(3), 1), 0);
+        assert_eq!(rf.read(Reg(3), 2), 77);
+    }
+
+    #[test]
+    fn broadcast_fills_active_lanes_only() {
+        let mut rf = RegFile::new();
+        rf.write(Reg(0), 3, -1);
+        rf.write_broadcast(Reg(0), 2, 9);
+        assert_eq!(rf.read(Reg(0), 0), 9);
+        assert_eq!(rf.read(Reg(0), 1), 9);
+        assert_eq!(rf.read(Reg(0), 2), 0);
+        assert_eq!(rf.read(Reg(0), 3), -1);
+    }
+
+    #[test]
+    fn match_vector_flags_equal_registers() {
+        let mut rf = RegFile::new();
+        // All registers zero: everything matches.
+        assert_eq!(rf.match_vector(0, 1), u16::MAX);
+        rf.write(Reg(5), 0, 42);
+        let m = rf.match_vector(0, 1);
+        assert_eq!(m & (1 << 5), 0);
+        assert_eq!(m | (1 << 5), u16::MAX);
+    }
+
+    #[test]
+    fn copy_version_moves_all_registers() {
+        let mut rf = RegFile::new();
+        for i in 0..16 {
+            rf.write(Reg(i), 0, i as i32 * 3);
+        }
+        rf.copy_version(0, 3);
+        for i in 0..16 {
+            assert_eq!(rf.read(Reg(i), 3), i as i32 * 3);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let mut rf = RegFile::new();
+        rf.write(Reg(7), 1, 1234);
+        let snap = rf.snapshot();
+        rf.write(Reg(7), 1, 0);
+        rf.restore(snap);
+        assert_eq!(rf.read(Reg(7), 1), 1234);
+    }
+
+    #[test]
+    fn version_bytes_low_byte() {
+        let mut rf = RegFile::new();
+        rf.write(Reg(0), 0, 0x1FF);
+        let b = rf.version_bytes(0);
+        assert_eq!(b.len(), 16);
+        assert_eq!(b[0], 0xFF);
+    }
+}

@@ -1,0 +1,285 @@
+//! Fixed-point radix-2 DIT FFT.
+//!
+//! `N = width · height` points (must be a power of two ≥ 8). Twiddle
+//! factors are Q8 fixed point, stored with the bit-reversal permutation as
+//! compiler-emitted constant tables. Input is `re[N]` then `im[N]`;
+//! output likewise. Quality is evaluated in the raw domain.
+//!
+//! The paper singles out FFT as a kernel suited to the *linear* retention
+//! policy (Section 3.2) — mid-significance bits matter because spectral
+//! energy spreads across the dynamic range.
+
+use crate::spec::{layout, KernelId, KernelSpec};
+use nvp_isa::{ProgramBuilder, Reg};
+
+/// Builds the bit-reversal permutation table for `n` (power of two).
+fn bitrev_table(n: usize) -> Vec<i32> {
+    let bits = n.trailing_zeros();
+    (0..n)
+        .map(|i| (i as u32).reverse_bits() >> (32 - bits))
+        .map(|v| v as i32)
+        .collect()
+}
+
+/// Q8 twiddle tables `(cos, sin)` for `W_N^k = e^{-2πik/N}`, `k < N/2`.
+fn twiddle_tables(n: usize) -> (Vec<i32>, Vec<i32>) {
+    let half = n / 2;
+    let mut c = Vec::with_capacity(half);
+    let mut s = Vec::with_capacity(half);
+    for k in 0..half {
+        let ang = -2.0 * std::f64::consts::PI * k as f64 / n as f64;
+        c.push((ang.cos() * 256.0).round() as i32);
+        s.push((ang.sin() * 256.0).round() as i32);
+    }
+    (c, s)
+}
+
+/// Builds the FFT kernel; the signal length is `width · height`.
+///
+/// # Panics
+///
+/// Panics unless `width · height` is a power of two ≥ 8.
+pub fn spec(width: usize, height: usize) -> KernelSpec {
+    let n = width * height;
+    assert!(
+        n >= 8 && n.is_power_of_two(),
+        "FFT length must be a power of two >= 8, got {n}"
+    );
+    let ni = n as i32;
+    let half = ni / 2;
+    let (cos_t, sin_t) = twiddle_tables(n);
+    // Tables: brev at 0 (N), cos at N (N/2), sin at N + N/2 (N/2).
+    let tables = vec![
+        (0u32, bitrev_table(n)),
+        (n as u32, cos_t),
+        ((n + n / 2) as u32, sin_t),
+    ];
+    let tables_end = 2 * ni;
+    let in_base = tables_end;
+    let out_base = in_base + 2 * ni;
+
+    let mut b = ProgramBuilder::new();
+    for r in [4u8, 5, 8, 9, 12, 13, 14] {
+        b.mark_ac(Reg(r));
+    }
+    b.mark_loop_var(Reg(0)).mark_loop_var(Reg(1));
+    b.approx_region(in_base as u32, (out_base + 2 * ni) as u32);
+
+    let (i_r, m_r, half_r, tstep_r) = (Reg(0), Reg(1), Reg(2), Reg(3));
+    let (b_re, b_im) = (Reg(4), Reg(5));
+    let (k_r, twidx) = (Reg(6), Reg(7));
+    let (w_re, w_im) = (Reg(8), Reg(9));
+    let (a_idx, b_idx) = (Reg(10), Reg(11));
+    let (t_re, t_im) = (Reg(12), Reg(13));
+    let tmp = Reg(14);
+    let lim = Reg(15);
+
+    b.mark_resume(0);
+    // 1) Bit-reversed copy into the output region.
+    b.ldi(i_r, 0);
+    let perm = b.label();
+    b.place(perm);
+    b.ld_ind(twidx, i_r, 0) // j = brev[i]
+        .ld_ind(b_re, twidx, in_base)
+        .st_ind(i_r, out_base, b_re)
+        .ld_ind(b_im, twidx, in_base + ni)
+        .st_ind(i_r, out_base + ni, b_im)
+        .addi(i_r, i_r, 1)
+        .ldi(lim, ni)
+        .brlt(i_r, lim, perm);
+
+    // 2) Butterfly stages.
+    b.ldi(m_r, 2).ldi(tstep_r, half);
+    let stage = b.label();
+    b.place(stage);
+    b.shr(half_r, m_r, 1); // half = m/2
+    b.ldi(i_r, 0); // j = block base
+    let block = b.label();
+    b.place(block);
+    b.ldi(k_r, 0);
+    let bfly = b.label();
+    b.place(bfly);
+    b.mul(twidx, k_r, tstep_r)
+        .ld_ind(w_re, twidx, ni) // cos table at N
+        .ld_ind(w_im, twidx, ni + half) // sin table at N + N/2
+        .add(a_idx, i_r, k_r)
+        .add(b_idx, a_idx, half_r)
+        // load b
+        .ld_ind(b_re, b_idx, out_base)
+        .ld_ind(b_im, b_idx, out_base + ni)
+        // t = w * b  (Q8)
+        .mul(t_re, w_re, b_re)
+        .mul(tmp, w_im, b_im)
+        .sub(t_re, t_re, tmp)
+        .shr(t_re, t_re, 8)
+        .mul(t_im, w_re, b_im)
+        .mul(tmp, w_im, b_re)
+        .add(t_im, t_im, tmp)
+        .shr(t_im, t_im, 8)
+        // load a
+        .ld_ind(b_re, a_idx, out_base)
+        .ld_ind(b_im, a_idx, out_base + ni)
+        // b' = a - t
+        .sub(tmp, b_re, t_re)
+        .st_ind(b_idx, out_base, tmp)
+        .sub(tmp, b_im, t_im)
+        .st_ind(b_idx, out_base + ni, tmp)
+        // a' = a + t
+        .add(tmp, b_re, t_re)
+        .st_ind(a_idx, out_base, tmp)
+        .add(tmp, b_im, t_im)
+        .st_ind(a_idx, out_base + ni, tmp)
+        .addi(k_r, k_r, 1)
+        .brlt(k_r, half_r, bfly);
+    b.add(i_r, i_r, m_r).ldi(lim, ni).brlt(i_r, lim, block);
+    b.shl(m_r, m_r, 1).shr(tstep_r, tstep_r, 1).ldi(lim, ni);
+    b.brge(lim, m_r, stage); // continue while m <= N
+    b.frame_done().halt();
+
+    layout(
+        KernelId::Fft,
+        width,
+        height,
+        tables,
+        2 * n,
+        2 * n,
+        b.build().expect("fft program must assemble"),
+    )
+}
+
+/// Full-precision reference (same Q8 integer algorithm).
+pub fn golden(input: &[i32], width: usize, height: usize) -> Vec<i32> {
+    let n = width * height;
+    assert_eq!(input.len(), 2 * n, "input must be re[N] then im[N]");
+    let brev = bitrev_table(n);
+    let (cos_t, sin_t) = twiddle_tables(n);
+    let mut re = vec![0i32; n];
+    let mut im = vec![0i32; n];
+    for i in 0..n {
+        re[i] = input[brev[i] as usize];
+        im[i] = input[n + brev[i] as usize];
+    }
+    let mut m = 2;
+    let mut tstep = n / 2;
+    while m <= n {
+        let half = m / 2;
+        let mut j = 0;
+        while j < n {
+            for k in 0..half {
+                let wr = cos_t[k * tstep];
+                let wi = sin_t[k * tstep];
+                let (br, bi) = (re[j + k + half], im[j + k + half]);
+                let t_re = (wr.wrapping_mul(br) - wi.wrapping_mul(bi)) >> 8;
+                let t_im = (wr.wrapping_mul(bi) + wi.wrapping_mul(br)) >> 8;
+                let (ar, ai) = (re[j + k], im[j + k]);
+                re[j + k + half] = ar - t_re;
+                im[j + k + half] = ai - t_im;
+                re[j + k] = ar + t_re;
+                im[j + k] = ai + t_im;
+            }
+            j += m;
+        }
+        m <<= 1;
+        tstep /= 2;
+    }
+    re.into_iter().chain(im).collect()
+}
+
+/// Deterministic test signal: two superposed tones, zero imaginary part.
+pub fn make_input(width: usize, height: usize, seed: u64) -> Vec<i32> {
+    let n = width * height;
+    let phase = (seed % 16) as f64 / 16.0 * std::f64::consts::TAU;
+    let mut v = Vec::with_capacity(2 * n);
+    for i in 0..n {
+        let x = i as f64 / n as f64 * std::f64::consts::TAU;
+        let s = 128.0 + 80.0 * (3.0 * x + phase).sin() + 40.0 * (7.0 * x).sin();
+        v.push(s.round() as i32);
+    }
+    v.extend(std::iter::repeat(0).take(n));
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_isa::Vm;
+
+    fn run_vm(width: usize, height: usize, frame: &[i32]) -> Vec<i32> {
+        let spec = spec(width, height);
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        vm.mem_mut().clone_from(&spec.build_memory());
+        spec.load_input(vm.mem_mut(), 0, frame);
+        vm.run_to_halt(10_000_000).expect("fft must halt");
+        spec.read_output(vm.mem(), 0)
+    }
+
+    #[test]
+    fn vm_matches_golden() {
+        let frame = make_input(8, 4, 1); // N = 32
+        assert_eq!(run_vm(8, 4, &frame), golden(&frame, 8, 4));
+    }
+
+    #[test]
+    fn dc_signal_concentrates_in_bin_zero() {
+        let n = 16;
+        let mut frame = vec![100i32; n];
+        frame.extend(std::iter::repeat(0).take(n));
+        let out = golden(&frame, 4, 4);
+        assert_eq!(out[0], 1600); // sum of inputs
+        for k in 1..n {
+            assert!(
+                out[k].abs() <= n as i32,
+                "bin {k} = {} should be ~0",
+                out[k]
+            );
+        }
+    }
+
+    #[test]
+    fn tone_peaks_at_its_bin() {
+        // Pure 3-cycles-per-frame tone → energy at bins 3 and N-3.
+        let n = 32usize;
+        let mut frame: Vec<i32> = (0..n)
+            .map(|i| {
+                (100.0 * (3.0 * i as f64 / n as f64 * std::f64::consts::TAU).cos()).round() as i32
+            })
+            .collect();
+        frame.extend(std::iter::repeat(0).take(n));
+        let out = golden(&frame, 8, 4);
+        let mag: Vec<f64> = (0..n)
+            .map(|k| ((out[k] as f64).powi(2) + (out[n + k] as f64).powi(2)).sqrt())
+            .collect();
+        let peak = mag
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap()
+            .0;
+        assert!(peak == 3 || peak == n - 3, "peak at bin {peak}");
+    }
+
+    #[test]
+    fn bitrev_is_a_permutation() {
+        let t = bitrev_table(16);
+        let mut seen = vec![false; 16];
+        for &v in &t {
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+        assert_eq!(t[1], 8); // reverse of 0001 in 4 bits
+    }
+
+    #[test]
+    fn twiddles_q8_magnitude() {
+        let (c, s) = twiddle_tables(16);
+        assert_eq!(c[0], 256);
+        assert_eq!(s[0], 0);
+        assert!(c.iter().chain(&s).all(|&v| v.abs() <= 256));
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        spec(3, 5);
+    }
+}

@@ -1,0 +1,163 @@
+//! Integral image (summed-area table).
+//!
+//! `out(x,y) = in(x,y) + out(x−1,y) + out(x,y−1) − out(x−1,y−1)`.
+//! Output values grow to `255·w·h`, so quality is evaluated in the raw
+//! domain ([`crate::quality::mse_raw`]).
+//!
+//! Note the recurrence reads back its own *stored* outputs: under
+//! approximate memory the truncation error therefore accumulates along the
+//! scan — which is why the paper sees integral's MSE explode below ~3 bits
+//! while staying benign above.
+
+use crate::spec::{layout, KernelId, KernelSpec};
+use nvp_isa::{ProgramBuilder, Reg};
+
+const X: Reg = Reg(0);
+const Y: Reg = Reg(1);
+const IDX: Reg = Reg(2);
+const BOUND: Reg = Reg(3);
+
+/// Builds the integral-image kernel.
+///
+/// # Panics
+///
+/// Panics if the frame is smaller than 2×2.
+pub fn spec(width: usize, height: usize) -> KernelSpec {
+    assert!(width >= 2 && height >= 2, "integral needs at least 2x2");
+    let n = width * height;
+    let w = width as i32;
+    let in_base = 0i32;
+    let out_base = n as i32;
+
+    let mut b = ProgramBuilder::new();
+    for r in 4..=7 {
+        b.mark_ac(Reg(r));
+    }
+    b.mark_loop_var(X).mark_loop_var(Y);
+    b.approx_region(0, (2 * n) as u32);
+
+    b.mark_resume(0);
+    // out[0] = in[0]
+    b.ld(Reg(4), 0).st(n as u32, Reg(4));
+    // First row: out[x] = in[x] + out[x-1]
+    b.ldi(X, 1);
+    let row = b.label();
+    b.place(row);
+    b.mov(IDX, X)
+        .ld_ind(Reg(4), IDX, in_base)
+        .ld_ind(Reg(5), IDX, out_base - 1)
+        .add(Reg(4), Reg(4), Reg(5))
+        .st_ind(IDX, out_base, Reg(4))
+        .addi(X, X, 1)
+        .ldi(BOUND, w)
+        .brlt(X, BOUND, row);
+    // First column: out[y*w] = in[y*w] + out[(y-1)*w]
+    b.ldi(Y, 1);
+    let col = b.label();
+    b.place(col);
+    b.muli(IDX, Y, w)
+        .ld_ind(Reg(4), IDX, in_base)
+        .ld_ind(Reg(5), IDX, out_base - w)
+        .add(Reg(4), Reg(4), Reg(5))
+        .st_ind(IDX, out_base, Reg(4))
+        .addi(Y, Y, 1)
+        .ldi(BOUND, height as i32)
+        .brlt(Y, BOUND, col);
+    // Interior.
+    b.ldi(Y, 1);
+    let y_top = b.label();
+    b.place(y_top);
+    b.ldi(X, 1);
+    let x_top = b.label();
+    b.place(x_top);
+    b.muli(IDX, Y, w)
+        .add(IDX, IDX, X)
+        .ld_ind(Reg(4), IDX, in_base)
+        .ld_ind(Reg(5), IDX, out_base - 1)
+        .ld_ind(Reg(6), IDX, out_base - w)
+        .ld_ind(Reg(7), IDX, out_base - w - 1)
+        .add(Reg(4), Reg(4), Reg(5))
+        .add(Reg(4), Reg(4), Reg(6))
+        .sub(Reg(4), Reg(4), Reg(7))
+        .st_ind(IDX, out_base, Reg(4))
+        .addi(X, X, 1)
+        .ldi(BOUND, w)
+        .brlt(X, BOUND, x_top)
+        .addi(Y, Y, 1)
+        .ldi(BOUND, height as i32)
+        .brlt(Y, BOUND, y_top);
+    b.frame_done().halt();
+
+    layout(
+        KernelId::Integral,
+        width,
+        height,
+        Vec::new(),
+        n,
+        n,
+        b.build().expect("integral program must assemble"),
+    )
+}
+
+/// Full-precision reference.
+pub fn golden(input: &[i32], width: usize, height: usize) -> Vec<i32> {
+    assert_eq!(input.len(), width * height, "input length mismatch");
+    let mut out = vec![0i32; width * height];
+    for y in 0..height {
+        for x in 0..width {
+            let mut v = input[y * width + x];
+            if x > 0 {
+                v += out[y * width + x - 1];
+            }
+            if y > 0 {
+                v += out[(y - 1) * width + x];
+            }
+            if x > 0 && y > 0 {
+                v -= out[(y - 1) * width + x - 1];
+            }
+            out[y * width + x] = v;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use nvp_isa::Vm;
+
+    fn run_vm(width: usize, height: usize, frame: &[i32]) -> Vec<i32> {
+        let spec = spec(width, height);
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        spec.load_input(vm.mem_mut(), 0, frame);
+        vm.run_to_halt(10_000_000).expect("integral must halt");
+        spec.read_output(vm.mem(), 0)
+    }
+
+    #[test]
+    fn vm_matches_golden() {
+        let img = Image::texture(9, 7, 3);
+        let frame = img.to_words();
+        assert_eq!(run_vm(9, 7, &frame), golden(&frame, 9, 7));
+    }
+
+    #[test]
+    fn bottom_right_is_total_sum() {
+        let img = Image::gradient(6, 5);
+        let frame = img.to_words();
+        let out = golden(&frame, 6, 5);
+        let total: i32 = frame.iter().sum();
+        assert_eq!(out[6 * 5 - 1], total);
+    }
+
+    #[test]
+    fn uniform_image_integral() {
+        let frame = vec![2i32; 4 * 4];
+        let out = golden(&frame, 4, 4);
+        // out(x,y) = 2*(x+1)*(y+1)
+        assert_eq!(out[0], 2);
+        assert_eq!(out[5], 8);
+        assert_eq!(out[15], 32);
+    }
+}

@@ -1,0 +1,311 @@
+//! JPEG encode — block motion estimation.
+//!
+//! The paper applies incidental computing "only on motion estimation,
+//! wherein approximation-induced error affects only the size of the
+//! compressed output" (Section 8.6). This kernel is that stage: full-search
+//! SAD block matching of the current frame against a reference frame.
+//!
+//! * Input: current frame (`w·h` words) followed by the reference frame.
+//! * Output: per 8×8 block, three words `(mv_x, mv_y, sad)`.
+//! * QoS: the size-inflation model in [`crate::quality::jpeg_size_inflation`],
+//!   fed with the *true* residual SAD of the chosen vectors
+//!   ([`true_sad`]).
+//!
+//! Approximation perturbs the SAD accumulator, so the search may pick a
+//! slightly worse motion vector; the block still encodes correctly, just
+//! less compactly — exactly the failure mode the paper exploits.
+
+use crate::image::Image;
+use crate::spec::{layout, KernelId, KernelSpec};
+use nvp_isa::{ProgramBuilder, Reg};
+
+/// Block edge in pixels.
+pub const BLOCK: usize = 8;
+/// Search range in pixels (±).
+pub const SEARCH: i32 = 2;
+/// Initial best-SAD sentinel.
+const SAD_INIT: i32 = 9_999_999;
+
+/// Builds the motion-estimation kernel.
+///
+/// # Panics
+///
+/// Panics unless both dimensions are positive multiples of 8.
+pub fn spec(width: usize, height: usize) -> KernelSpec {
+    assert!(
+        width % BLOCK == 0 && height % BLOCK == 0 && width >= BLOCK && height >= BLOCK,
+        "jpeg frame must be a positive multiple of {BLOCK}x{BLOCK}"
+    );
+    let n = (width * height) as i32;
+    let w = width as i32;
+    let h = height as i32;
+    let nbx = w / BLOCK as i32;
+    let nby = h / BLOCK as i32;
+    let nblocks = (nbx * nby) as usize;
+    let in_base = 0i32;
+    let out_base = 2 * n;
+
+    let (px, py) = (Reg(0), Reg(1));
+    let (curp, refp) = (Reg(2), Reg(3));
+    let (cpix, rpix) = (Reg(4), Reg(5));
+    let (dx, dy) = (Reg(6), Reg(7));
+    let (bx, by) = (Reg(8), Reg(9));
+    let sad = Reg(10);
+    let best = Reg(11);
+    let (bdx, bdy) = (Reg(12), Reg(13));
+    let tmp = Reg(14);
+
+    let mut b = ProgramBuilder::new();
+    // The per-pixel difference datapath is approximable; the wide SAD
+    // accumulator and the best-so-far bookkeeping stay precise (they feed
+    // the comparison/control path).
+    for r in [cpix, rpix] {
+        b.mark_ac(r);
+    }
+    b.mark_loop_var(bx).mark_loop_var(by);
+    b.approx_region(0, (2 * n) as u32);
+
+    b.mark_resume(0);
+    b.ldi(by, 0);
+    let by_top = b.label();
+    b.place(by_top);
+    b.ldi(bx, 0);
+    let bx_top = b.label();
+    b.place(bx_top);
+    b.ldi(best, SAD_INIT).ldi(bdx, 0).ldi(bdy, 0);
+    // dy = max(-SEARCH, -8*by)
+    b.muli(dy, by, -(BLOCK as i32)).maxi(dy, dy, -SEARCH);
+    let dy_top = b.label();
+    b.place(dy_top);
+    // dx = max(-SEARCH, -8*bx)
+    b.muli(dx, bx, -(BLOCK as i32)).maxi(dx, dx, -SEARCH);
+    let dx_top = b.label();
+    b.place(dx_top);
+    b.ldi(sad, 0).ldi(py, 0);
+    let py_top = b.label();
+    b.place(py_top);
+    // curp = (by*8 + py)*w + bx*8 ;  refp = curp + dy*w + dx
+    b.muli(curp, by, BLOCK as i32)
+        .add(curp, curp, py)
+        .muli(curp, curp, w)
+        .muli(tmp, bx, BLOCK as i32)
+        .add(curp, curp, tmp)
+        .muli(refp, dy, w)
+        .add(refp, refp, curp)
+        .add(refp, refp, dx)
+        .ldi(px, 0);
+    let px_top = b.label();
+    b.place(px_top);
+    b.ld_ind(cpix, curp, in_base)
+        .ld_ind(rpix, refp, in_base + n)
+        .sub(cpix, cpix, rpix)
+        .abs(cpix, cpix)
+        .add(sad, sad, cpix)
+        .addi(curp, curp, 1)
+        .addi(refp, refp, 1)
+        .addi(px, px, 1)
+        .ldi(tmp, BLOCK as i32)
+        .brlt(px, tmp, px_top);
+    b.addi(py, py, 1).ldi(tmp, BLOCK as i32).brlt(py, tmp, py_top);
+    // if sad < best { best = sad; bdx = dx; bdy = dy }
+    let skip = b.label();
+    b.brge(sad, best, skip);
+    b.mov(best, sad).mov(bdx, dx).mov(bdy, dy);
+    b.place(skip);
+    // dx++ while dx <= min(SEARCH, w-8-8*bx)
+    b.addi(dx, dx, 1)
+        .muli(tmp, bx, -(BLOCK as i32))
+        .addi(tmp, tmp, w - BLOCK as i32)
+        .mini(tmp, tmp, SEARCH)
+        .brge(tmp, dx, dx_top);
+    // dy++ while dy <= min(SEARCH, h-8-8*by)
+    b.addi(dy, dy, 1)
+        .muli(tmp, by, -(BLOCK as i32))
+        .addi(tmp, tmp, h - BLOCK as i32)
+        .mini(tmp, tmp, SEARCH)
+        .brge(tmp, dy, dy_top);
+    // Store (bdx, bdy, best) at OUT + (by*nbx + bx)*3.
+    b.muli(tmp, by, nbx)
+        .add(tmp, tmp, bx)
+        .muli(tmp, tmp, 3)
+        .st_ind(tmp, out_base, bdx)
+        .st_ind(tmp, out_base + 1, bdy)
+        .st_ind(tmp, out_base + 2, best);
+    b.addi(bx, bx, 1).ldi(tmp, nbx).brlt(bx, tmp, bx_top);
+    b.addi(by, by, 1).ldi(tmp, nby).brlt(by, tmp, by_top);
+    b.frame_done().halt();
+
+    layout(
+        KernelId::JpegEncode,
+        width,
+        height,
+        Vec::new(),
+        2 * n as usize,
+        3 * nblocks,
+        b.build().expect("jpeg program must assemble"),
+    )
+}
+
+/// Full-precision reference (identical scan order and tie-breaking).
+pub fn golden(input: &[i32], width: usize, height: usize) -> Vec<i32> {
+    let n = width * height;
+    assert_eq!(input.len(), 2 * n, "input must hold current + reference");
+    let (cur, rf) = input.split_at(n);
+    let nbx = width / BLOCK;
+    let nby = height / BLOCK;
+    let mut out = Vec::with_capacity(nbx * nby * 3);
+    for by in 0..nby {
+        for bx in 0..nbx {
+            let mut best = SAD_INIT;
+            let (mut bdx, mut bdy) = (0i32, 0i32);
+            let dy_lo = (-SEARCH).max(-(8 * by as i32));
+            let dy_hi = SEARCH.min(height as i32 - 8 - 8 * by as i32);
+            let dx_lo = (-SEARCH).max(-(8 * bx as i32));
+            let dx_hi = SEARCH.min(width as i32 - 8 - 8 * bx as i32);
+            let mut dy = dy_lo;
+            while dy <= dy_hi {
+                let mut dx = dx_lo;
+                while dx <= dx_hi {
+                    let sad = block_sad(cur, rf, width, bx, by, dx, dy);
+                    if sad < best {
+                        best = sad;
+                        bdx = dx;
+                        bdy = dy;
+                    }
+                    dx += 1;
+                }
+                dy += 1;
+            }
+            out.push(bdx);
+            out.push(bdy);
+            out.push(best);
+        }
+    }
+    out
+}
+
+fn block_sad(
+    cur: &[i32],
+    rf: &[i32],
+    width: usize,
+    bx: usize,
+    by: usize,
+    dx: i32,
+    dy: i32,
+) -> i32 {
+    let mut sad = 0i32;
+    for py in 0..BLOCK {
+        for px in 0..BLOCK {
+            let cy = by * BLOCK + py;
+            let cx = bx * BLOCK + px;
+            let ry = (cy as i32 + dy) as usize;
+            let rx = (cx as i32 + dx) as usize;
+            sad += (cur[cy * width + cx] - rf[ry * width + rx]).abs();
+        }
+    }
+    sad
+}
+
+/// True per-block residual SAD for chosen motion vectors (feeds the size
+/// model). `mv_output` is this kernel's output layout.
+pub fn true_sad(input: &[i32], width: usize, height: usize, mv_output: &[i32]) -> Vec<i64> {
+    let n = width * height;
+    let (cur, rf) = input.split_at(n);
+    let nbx = width / BLOCK;
+    let nby = height / BLOCK;
+    assert_eq!(mv_output.len(), nbx * nby * 3, "mv output length mismatch");
+    let mut out = Vec::with_capacity(nbx * nby);
+    for by in 0..nby {
+        for bx in 0..nbx {
+            let i = (by * nbx + bx) * 3;
+            // Clamp possibly-corrupted vectors back into the legal window.
+            let dx = mv_output[i].clamp((-SEARCH).max(-(8 * bx as i32)), {
+                SEARCH.min(width as i32 - 8 - 8 * bx as i32)
+            });
+            let dy = mv_output[i + 1].clamp((-SEARCH).max(-(8 * by as i32)), {
+                SEARCH.min(height as i32 - 8 - 8 * by as i32)
+            });
+            out.push(block_sad(cur, rf, width, bx, by, dx, dy) as i64);
+        }
+    }
+    out
+}
+
+/// Deterministic input: a texture plus a shifted copy of itself as the
+/// reference (so real motion exists to find).
+pub fn make_input(width: usize, height: usize, seed: u64) -> Vec<i32> {
+    let cur = Image::texture(width, height, seed);
+    let rf = cur.shifted(1, 1);
+    let mut v = cur.to_words();
+    v.extend(rf.to_words());
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_isa::Vm;
+
+    fn run_vm(width: usize, height: usize, frame: &[i32]) -> Vec<i32> {
+        let spec = spec(width, height);
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        spec.load_input(vm.mem_mut(), 0, frame);
+        vm.run_to_halt(50_000_000).expect("jpeg must halt");
+        spec.read_output(vm.mem(), 0)
+    }
+
+    #[test]
+    fn vm_matches_golden() {
+        let frame = make_input(16, 16, 7);
+        assert_eq!(run_vm(16, 16, &frame), golden(&frame, 16, 16));
+    }
+
+    #[test]
+    fn finds_the_injected_shift() {
+        // Reference = current shifted by (1,1): interior blocks should find
+        // mv == (1,1) with sad == 0.
+        let frame = make_input(24, 24, 3);
+        let out = golden(&frame, 24, 24);
+        // Center block (bx=1, by=1) is interior.
+        let nbx = 3;
+        let i = (nbx + 1) * 3;
+        assert_eq!((out[i], out[i + 1]), (1, 1));
+        assert_eq!(out[i + 2], 0);
+    }
+
+    #[test]
+    fn identical_frames_give_zero_vectors() {
+        let cur = Image::texture(16, 16, 9).to_words();
+        let mut frame = cur.clone();
+        frame.extend(cur);
+        let out = golden(&frame, 16, 16);
+        for blk in out.chunks(3) {
+            assert_eq!(blk, [0, 0, 0]);
+        }
+    }
+
+    #[test]
+    fn true_sad_matches_reported_sad_at_full_precision() {
+        let frame = make_input(16, 16, 4);
+        let out = golden(&frame, 16, 16);
+        let sads = true_sad(&frame, 16, 16, &out);
+        for (blk, &s) in out.chunks(3).zip(&sads) {
+            assert_eq!(blk[2] as i64, s);
+        }
+    }
+
+    #[test]
+    fn true_sad_clamps_corrupt_vectors() {
+        let frame = make_input(16, 16, 4);
+        let mut out = golden(&frame, 16, 16);
+        out[0] = 100; // absurd mv_x on block 0
+        let sads = true_sad(&frame, 16, 16, &out);
+        assert!(sads[0] >= 0); // must not panic / index out of range
+    }
+
+    #[test]
+    #[should_panic(expected = "multiple of 8")]
+    fn odd_size_panics() {
+        spec(12, 8);
+    }
+}

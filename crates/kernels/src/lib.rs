@@ -1,0 +1,48 @@
+//! Workload substrate: the MiBench-style image/signal-processing kernels of
+//! the paper's evaluation (Section 7), lowered to the NVP ISA.
+//!
+//! The ten testbenches of Figure 28 — `sobel`, `median`, `integral`,
+//! `susan.corners`, `susan.edges`, `susan.smoothing`, `jpeg.encode`
+//! (motion estimation), `tiff2bw`, `tiff2rgba` and `FFT` — are each provided
+//! as:
+//!
+//! * an ISA **program generator** (the role the paper's compiler plays in
+//!   Section 5): one program processes one input frame,
+//! * a pure-Rust **golden reference** with identical integer semantics, used
+//!   as the full-precision quality baseline,
+//! * a [`spec::KernelSpec`] describing the memory layout (constant tables,
+//!   input region, output region) and the approximable region for the
+//!   `incidental` pragma.
+//!
+//! Synthetic input scenes live in [`image`]; MSE/PSNR and the JPEG
+//! size-inflation quality model live in [`quality`].
+//!
+//! # Example
+//!
+//! ```
+//! use nvp_kernels::spec::KernelId;
+//! use nvp_kernels::image::Image;
+//!
+//! let spec = KernelId::Sobel.spec(16, 16);
+//! let frame = Image::texture(16, 16, 1).to_words();
+//! let golden = KernelId::Sobel.golden(&frame, 16, 16);
+//! assert_eq!(golden.len(), spec.output_len());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod fft;
+pub mod image;
+pub mod integral;
+pub mod jpeg;
+pub mod median;
+pub mod quality;
+pub mod sobel;
+pub mod spec;
+pub mod susan;
+pub mod tiff;
+
+pub use image::Image;
+pub use quality::{mse, psnr};
+pub use spec::{KernelId, KernelSpec};

@@ -1,0 +1,182 @@
+//! 3×3 median filter.
+//!
+//! The median is computed with the classic 19-compare-exchange median-of-9
+//! network (Smith/Paeth), lowered to `min`/`max` instruction pairs — the
+//! natural fit for a datapath without general sorting support. Border pixels
+//! stay zero.
+//!
+//! The paper's most approximation-tolerant kernel: "even operating at a
+//! bitwidth of 1 can provide quality above 20 dB" (Section 8.1), because the
+//! median of nine noisy values is itself noise-robust.
+
+use crate::spec::{layout, KernelId, KernelSpec};
+use nvp_isa::{ProgramBuilder, Reg};
+
+const X: Reg = Reg(0);
+const Y: Reg = Reg(1);
+const IDX: Reg = Reg(2);
+const BOUND: Reg = Reg(3);
+const TMP: Reg = Reg(14);
+
+/// The 19 compare-exchange pairs of the median-of-9 network; after applying
+/// them to `p[0..9]`, the median sits in `p[4]`.
+const NETWORK: [(usize, usize); 19] = [
+    (1, 2),
+    (4, 5),
+    (7, 8),
+    (0, 1),
+    (3, 4),
+    (6, 7),
+    (1, 2),
+    (4, 5),
+    (7, 8),
+    (0, 3),
+    (5, 8),
+    (4, 7),
+    (3, 6),
+    (1, 4),
+    (2, 5),
+    (4, 7),
+    (4, 2),
+    (6, 4),
+    (4, 2),
+];
+
+/// Builds the median kernel for a `width × height` frame.
+///
+/// # Panics
+///
+/// Panics if the frame is smaller than 3×3.
+pub fn spec(width: usize, height: usize) -> KernelSpec {
+    assert!(width >= 3 && height >= 3, "median needs at least a 3x3 frame");
+    let n = width * height;
+    let w = width as i32;
+    let in_base = 0i32;
+    let out_base = n as i32;
+
+    let mut b = ProgramBuilder::new();
+    for r in 4..=13 {
+        b.mark_ac(Reg(r));
+    }
+    b.mark_loop_var(X).mark_loop_var(Y);
+    b.approx_region(0, (2 * n) as u32);
+
+    b.mark_resume(0);
+    b.ldi(Y, 1);
+    let y_top = b.label();
+    b.place(y_top);
+    b.ldi(X, 1);
+    let x_top = b.label();
+    b.place(x_top);
+    b.muli(IDX, Y, w).add(IDX, IDX, X);
+
+    // p0..p8 into r4..r12, row-major.
+    let mut r = 4u8;
+    for dy in -1..=1 {
+        for dx in -1..=1 {
+            b.ld_ind(Reg(r), IDX, in_base + dy * w + dx);
+            r += 1;
+        }
+    }
+    // Compare-exchange network: t = min(a,b); b = max(a,b); a = t.
+    for &(i, j) in &NETWORK {
+        let a = Reg(4 + i as u8);
+        let bb = Reg(4 + j as u8);
+        b.min(TMP, a, bb).max(bb, a, bb).mov(a, TMP);
+    }
+    b.st_ind(IDX, out_base, Reg(8)); // p4 = r8 holds the median
+
+    b.addi(X, X, 1).ldi(BOUND, w - 1).brlt(X, BOUND, x_top);
+    b.addi(Y, Y, 1)
+        .ldi(BOUND, height as i32 - 1)
+        .brlt(Y, BOUND, y_top);
+    b.frame_done().halt();
+
+    layout(
+        KernelId::Median,
+        width,
+        height,
+        Vec::new(),
+        n,
+        n,
+        b.build().expect("median program must assemble"),
+    )
+}
+
+/// Full-precision reference (same network).
+pub fn golden(input: &[i32], width: usize, height: usize) -> Vec<i32> {
+    assert_eq!(input.len(), width * height, "input length mismatch");
+    let mut out = vec![0i32; width * height];
+    for y in 1..height - 1 {
+        for x in 1..width - 1 {
+            let mut p = [0i32; 9];
+            let mut k = 0;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    p[k] = input[(y as i32 + dy) as usize * width + (x as i32 + dx) as usize];
+                    k += 1;
+                }
+            }
+            for &(i, j) in &NETWORK {
+                let lo = p[i].min(p[j]);
+                let hi = p[i].max(p[j]);
+                p[i] = lo;
+                p[j] = hi;
+            }
+            out[y * width + x] = p[4];
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use nvp_isa::Vm;
+
+    fn run_vm(width: usize, height: usize, frame: &[i32]) -> Vec<i32> {
+        let spec = spec(width, height);
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        spec.load_input(vm.mem_mut(), 0, frame);
+        vm.run_to_halt(10_000_000).expect("median must halt");
+        spec.read_output(vm.mem(), 0)
+    }
+
+    #[test]
+    fn network_computes_true_median() {
+        // The 19-CE network must agree with a sort-based median on
+        // arbitrary data.
+        let img = Image::texture(10, 9, 11);
+        let input = img.to_words();
+        let out = golden(&input, 10, 9);
+        for y in 1..8 {
+            for x in 1..9 {
+                let mut p: Vec<i32> = (0..9)
+                    .map(|k| {
+                        let dy = k / 3 - 1i32;
+                        let dx = k % 3 - 1i32;
+                        input[((y as i32 + dy) * 10 + x as i32 + dx) as usize]
+                    })
+                    .collect();
+                p.sort_unstable();
+                assert_eq!(out[y * 10 + x], p[4], "median mismatch at ({x},{y})");
+            }
+        }
+    }
+
+    #[test]
+    fn vm_matches_golden() {
+        let img = Image::blobs(11, 8, 2);
+        let frame = img.to_words();
+        assert_eq!(run_vm(11, 8, &frame), golden(&frame, 11, 8));
+    }
+
+    #[test]
+    fn median_removes_salt_noise() {
+        let mut img = Image::from_fn(9, 9, |_, _| 100);
+        img.set(4, 4, 255); // single outlier
+        let out = golden(&img.to_words(), 9, 9);
+        assert_eq!(out[4 * 9 + 4], 100);
+    }
+}

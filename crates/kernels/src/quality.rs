@@ -1,0 +1,178 @@
+//! Output-quality metrics (Section 8.1): MSE, PSNR, and the JPEG
+//! size-inflation model.
+//!
+//! The paper evaluates approximate outputs against an "8-bit
+//! non-approximate baseline" using mean squared error and peak
+//! signal-to-noise ratio; "above 20–40 dB is considered a good PSNR
+//! response". For the JPEG testbench quality is instead "an output size that
+//! is no more than 50 % larger than the full-precision compressed output"
+//! (Section 8.6).
+
+/// Mean squared error between two word sequences, computed in the clamped
+/// 8-bit output domain.
+///
+/// # Panics
+///
+/// Panics if lengths differ or are zero.
+pub fn mse(reference: &[i32], candidate: &[i32]) -> f64 {
+    assert_eq!(reference.len(), candidate.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty inputs");
+    let sum: f64 = reference
+        .iter()
+        .zip(candidate)
+        .map(|(&a, &b)| {
+            let d = (a.clamp(0, 255) - b.clamp(0, 255)) as f64;
+            d * d
+        })
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// Peak signal-to-noise ratio in dB against a 255 peak; identical inputs
+/// give `f64::INFINITY`.
+pub fn psnr(reference: &[i32], candidate: &[i32]) -> f64 {
+    let m = mse(reference, candidate);
+    if m == 0.0 {
+        f64::INFINITY
+    } else {
+        10.0 * (255.0_f64 * 255.0 / m).log10()
+    }
+}
+
+/// MSE for raw (unclamped) signal outputs such as the FFT spectrum, where
+/// the data domain is wider than 8 bits.
+pub fn mse_raw(reference: &[i32], candidate: &[i32]) -> f64 {
+    assert_eq!(reference.len(), candidate.len(), "length mismatch");
+    assert!(!reference.is_empty(), "empty inputs");
+    let sum: f64 = reference
+        .iter()
+        .zip(candidate)
+        .map(|(&a, &b)| {
+            let d = (a as f64) - (b as f64);
+            d * d
+        })
+        .sum();
+    sum / reference.len() as f64
+}
+
+/// PSNR for raw signals, normalized to the reference's own peak magnitude.
+pub fn psnr_raw(reference: &[i32], candidate: &[i32]) -> f64 {
+    let m = mse_raw(reference, candidate);
+    if m == 0.0 {
+        return f64::INFINITY;
+    }
+    let peak = reference
+        .iter()
+        .map(|&v| (v as f64).abs())
+        .fold(1.0, f64::max);
+    10.0 * (peak * peak / m).log10()
+}
+
+/// JPEG compressed-size model (Section 8.6's QoS metric).
+///
+/// The motion-estimation output is a list of `(mvx, mvy, _)` triples; the
+/// encoder transmits the *residual* between each block and its
+/// motion-compensated prediction. A worse motion vector leaves more
+/// residual energy, which costs more bits. We model per-block cost as
+/// `header + width·log₂(1 + mean-abs-residual)` bits — the standard
+/// rate-behaviour of entropy-coded DCT residuals.
+///
+/// `residual_sad` must hold, per block, the *true* (full-precision) sum of
+/// absolute differences achieved by the chosen motion vector, and
+/// `block_pixels` the pixel count per block.
+pub fn jpeg_size_bits(residual_sad: &[i64], block_pixels: usize) -> f64 {
+    assert!(block_pixels > 0, "block_pixels must be positive");
+    const HEADER_BITS: f64 = 24.0; // MV + block header
+    residual_sad
+        .iter()
+        .map(|&sad| {
+            let mean_abs = sad as f64 / block_pixels as f64;
+            HEADER_BITS + block_pixels as f64 * (1.0 + mean_abs).log2()
+        })
+        .sum()
+}
+
+/// Size inflation of an approximate encode vs the precise encode
+/// (`1.0` = same size, `1.5` = the paper's QoS limit).
+pub fn jpeg_size_inflation(
+    precise_sad: &[i64],
+    approx_sad: &[i64],
+    block_pixels: usize,
+) -> f64 {
+    let p = jpeg_size_bits(precise_sad, block_pixels);
+    let a = jpeg_size_bits(approx_sad, block_pixels);
+    a / p
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_inputs_zero_mse_infinite_psnr() {
+        let a = vec![1, 2, 3, 200];
+        assert_eq!(mse(&a, &a), 0.0);
+        assert_eq!(psnr(&a, &a), f64::INFINITY);
+        assert_eq!(mse_raw(&a, &a), 0.0);
+        assert_eq!(psnr_raw(&a, &a), f64::INFINITY);
+    }
+
+    #[test]
+    fn known_mse_value() {
+        let a = vec![10, 10];
+        let b = vec![13, 7];
+        assert!((mse(&a, &b) - 9.0).abs() < 1e-12);
+        // PSNR of MSE 9 = 10·log10(65025/9) ≈ 38.59 dB
+        assert!((psnr(&a, &b) - 38.588).abs() < 0.01);
+    }
+
+    #[test]
+    fn mse_clamps_to_output_domain() {
+        // 300 clamps to 255, -10 clamps to 0.
+        let a = vec![300];
+        let b = vec![255];
+        assert_eq!(mse(&a, &b), 0.0);
+        let c = vec![-10];
+        let d = vec![0];
+        assert_eq!(mse(&c, &d), 0.0);
+    }
+
+    #[test]
+    fn raw_mse_no_clamp() {
+        let a = vec![1000];
+        let b = vec![0];
+        assert_eq!(mse_raw(&a, &b), 1_000_000.0);
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let reference: Vec<i32> = (0..100).map(|i| (i * 2) % 256).collect();
+        let slightly: Vec<i32> = reference.iter().map(|&v| (v + 1).min(255)).collect();
+        let very: Vec<i32> = reference.iter().map(|&v| (v + 40).min(255)).collect();
+        assert!(psnr(&reference, &slightly) > psnr(&reference, &very));
+    }
+
+    #[test]
+    fn jpeg_size_grows_with_residual() {
+        let good = vec![100i64; 16];
+        let bad = vec![2000i64; 16];
+        let s_good = jpeg_size_bits(&good, 64);
+        let s_bad = jpeg_size_bits(&bad, 64);
+        assert!(s_bad > s_good);
+        let infl = jpeg_size_inflation(&good, &bad, 64);
+        assert!(infl > 1.0);
+        assert!((jpeg_size_inflation(&good, &good, 64) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        mse(&[1], &[1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_inputs_panic() {
+        mse(&[], &[]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Sobel edge detection.
+//!
+//! For every interior pixel: `out = min(255, |gx| + |gy|)` where `gx`/`gy`
+//! are the 3×3 Sobel responses. Border pixels are left at zero in both the
+//! ISA program and the golden reference.
+//!
+//! The paper finds sobel the *least* approximable of the quality trio: its
+//! MSE "increases dramatically when there are fewer than 6 bits"
+//! (Section 8.1) because gradient magnitudes live in the low-order bits.
+
+use crate::spec::{layout, KernelId, KernelSpec};
+use nvp_isa::{ProgramBuilder, Reg};
+
+// Register convention (shared across kernels):
+//   r0 = x, r1 = y (loop variables), r2 = pixel index, r3 = bound,
+//   r4..r13 = data temps (AC), r14/r15 = scratch.
+const X: Reg = Reg(0);
+const Y: Reg = Reg(1);
+const IDX: Reg = Reg(2);
+const BOUND: Reg = Reg(3);
+
+/// Builds the sobel kernel for a `width × height` frame.
+///
+/// # Panics
+///
+/// Panics if the frame is smaller than 3×3.
+pub fn spec(width: usize, height: usize) -> KernelSpec {
+    assert!(width >= 3 && height >= 3, "sobel needs at least a 3x3 frame");
+    let n = width * height;
+    let mut b = ProgramBuilder::new();
+    // Data registers carry pixel values -> approximable.
+    for r in 4..=13 {
+        b.mark_ac(Reg(r));
+    }
+    b.mark_loop_var(X).mark_loop_var(Y);
+
+    // Layout: no tables; input at 0-offset after tables (= 0), output after.
+    let in_base = 0i32;
+    let out_base = n as i32;
+    b.approx_region(0, (2 * n) as u32);
+
+    let w = width as i32;
+    b.mark_resume(0);
+    b.ldi(Y, 1);
+    let y_top = b.label();
+    b.place(y_top);
+    b.ldi(X, 1);
+    let x_top = b.label();
+    b.place(x_top);
+    // idx = y*w + x
+    b.muli(IDX, Y, w).add(IDX, IDX, X);
+
+    // Load the 3x3 neighbourhood (center not needed by sobel).
+    let p = |dy: i32, dx: i32| in_base + dy * w + dx;
+    b.ld_ind(Reg(4), IDX, p(-1, -1))
+        .ld_ind(Reg(5), IDX, p(-1, 0))
+        .ld_ind(Reg(6), IDX, p(-1, 1))
+        .ld_ind(Reg(7), IDX, p(0, -1))
+        .ld_ind(Reg(8), IDX, p(0, 1))
+        .ld_ind(Reg(9), IDX, p(1, -1))
+        .ld_ind(Reg(10), IDX, p(1, 0))
+        .ld_ind(Reg(11), IDX, p(1, 1));
+
+    // gx = (p6 + 2*p8 + p11) - (p4 + 2*p7 + p9)   [right col - left col]
+    b.shl(Reg(12), Reg(8), 1)
+        .add(Reg(12), Reg(12), Reg(6))
+        .add(Reg(12), Reg(12), Reg(11))
+        .shl(Reg(13), Reg(7), 1)
+        .add(Reg(13), Reg(13), Reg(4))
+        .add(Reg(13), Reg(13), Reg(9))
+        .sub(Reg(12), Reg(12), Reg(13))
+        .abs(Reg(12), Reg(12));
+    // gy = (p9 + 2*p10 + p11) - (p4 + 2*p5 + p6)  [bottom row - top row]
+    b.shl(Reg(13), Reg(10), 1)
+        .add(Reg(13), Reg(13), Reg(9))
+        .add(Reg(13), Reg(13), Reg(11))
+        .shl(Reg(14), Reg(5), 1)
+        .add(Reg(14), Reg(14), Reg(4))
+        .add(Reg(14), Reg(14), Reg(6))
+        .sub(Reg(13), Reg(13), Reg(14))
+        .abs(Reg(13), Reg(13));
+    // out = min(255, |gx| + |gy|)
+    b.add(Reg(12), Reg(12), Reg(13)).mini(Reg(12), Reg(12), 255);
+    b.st_ind(IDX, out_base, Reg(12));
+
+    // x loop
+    b.addi(X, X, 1).ldi(BOUND, w - 1).brlt(X, BOUND, x_top);
+    // y loop
+    b.addi(Y, Y, 1)
+        .ldi(BOUND, height as i32 - 1)
+        .brlt(Y, BOUND, y_top);
+    b.frame_done().halt();
+
+    layout(
+        KernelId::Sobel,
+        width,
+        height,
+        Vec::new(),
+        n,
+        n,
+        b.build().expect("sobel program must assemble"),
+    )
+}
+
+/// Full-precision reference.
+pub fn golden(input: &[i32], width: usize, height: usize) -> Vec<i32> {
+    assert_eq!(input.len(), width * height, "input length mismatch");
+    let mut out = vec![0i32; width * height];
+    let at = |x: usize, y: usize| input[y * width + x];
+    for y in 1..height - 1 {
+        for x in 1..width - 1 {
+            let gx = (at(x + 1, y - 1) + 2 * at(x + 1, y) + at(x + 1, y + 1))
+                - (at(x - 1, y - 1) + 2 * at(x - 1, y) + at(x - 1, y + 1));
+            let gy = (at(x - 1, y + 1) + 2 * at(x, y + 1) + at(x + 1, y + 1))
+                - (at(x - 1, y - 1) + 2 * at(x, y - 1) + at(x + 1, y - 1));
+            out[y * width + x] = (gx.abs() + gy.abs()).min(255);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use nvp_isa::Vm;
+
+    fn run_vm(width: usize, height: usize, frame: &[i32]) -> Vec<i32> {
+        let spec = spec(width, height);
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        spec.load_input(vm.mem_mut(), 0, frame);
+        vm.run_to_halt(10_000_000).expect("sobel must halt");
+        spec.read_output(vm.mem(), 0)
+    }
+
+    #[test]
+    fn vm_matches_golden_on_texture() {
+        let img = Image::texture(12, 10, 5);
+        let frame = img.to_words();
+        assert_eq!(run_vm(12, 10, &frame), golden(&frame, 12, 10));
+    }
+
+    #[test]
+    fn vm_matches_golden_on_checkerboard() {
+        let img = Image::checkerboard(9, 9, 3);
+        let frame = img.to_words();
+        assert_eq!(run_vm(9, 9, &frame), golden(&frame, 9, 9));
+    }
+
+    #[test]
+    fn flat_image_has_zero_response() {
+        let frame = vec![128; 8 * 8];
+        assert!(golden(&frame, 8, 8).iter().all(|&v| v == 0));
+    }
+
+    #[test]
+    fn vertical_edge_detected() {
+        let img = Image::from_fn(8, 8, |x, _| if x < 4 { 0 } else { 255 });
+        let out = golden(&img.to_words(), 8, 8);
+        // Strong response along the x=3/4 boundary, zero far away.
+        assert_eq!(out[2 * 8 + 1], 0);
+        assert!(out[2 * 8 + 4] > 200);
+    }
+
+    #[test]
+    #[should_panic(expected = "3x3")]
+    fn tiny_frame_panics() {
+        spec(2, 2);
+    }
+}

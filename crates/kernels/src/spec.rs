@@ -1,0 +1,368 @@
+//! Kernel descriptors: memory layout, programs, goldens and input
+//! generation for the ten testbenches.
+//!
+//! # Memory layout convention
+//!
+//! Every kernel's data memory is laid out as
+//!
+//! ```text
+//! [0 .. tables_end)        constant tables (compiler-emitted ROM data)
+//! [input.start .. end)     the input frame  — the `incidental` variable
+//! [output.start .. end)    the output frame
+//! ```
+//!
+//! The approximable region declared to the ISA (the `incidental` pragma's
+//! storage scope) covers input and output; constant tables are always
+//! precise. Tables are replicated into all four memory versions so every
+//! SIMD lane can read them.
+
+use crate::{fft, image, integral, jpeg, median, sobel, susan, tiff};
+use nvp_isa::Program;
+use nvp_nvm::VersionedMemory;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::Range;
+
+/// Which value domain a kernel's output lives in, selecting the right
+/// MSE/PSNR variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum QualityDomain {
+    /// 8-bit image output; compare with [`crate::quality::mse`]/[`crate::quality::psnr`].
+    Clamped,
+    /// Wide-range output (integral image, FFT spectrum); compare with
+    /// [`crate::quality::mse_raw`]/[`crate::quality::psnr_raw`].
+    Raw,
+}
+
+/// The ten testbenches of Figure 28.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum KernelId {
+    /// Sobel edge detection.
+    Sobel,
+    /// 3×3 median filter.
+    Median,
+    /// Integral image (summed-area table).
+    Integral,
+    /// SUSAN corner detection (simplified USAN response).
+    SusanCorners,
+    /// SUSAN edge detection.
+    SusanEdges,
+    /// SUSAN structure-preserving smoothing.
+    SusanSmoothing,
+    /// JPEG encode — block motion estimation (the approximated stage).
+    JpegEncode,
+    /// TIFF color → grayscale conversion.
+    Tiff2Bw,
+    /// TIFF RGB → premultiplied RGBA conversion.
+    Tiff2Rgba,
+    /// Fixed-point radix-2 FFT.
+    Fft,
+}
+
+impl KernelId {
+    /// All testbenches, in the order of Figure 28's x-axis.
+    pub const ALL: [KernelId; 10] = [
+        KernelId::Sobel,
+        KernelId::Median,
+        KernelId::Integral,
+        KernelId::SusanCorners,
+        KernelId::SusanEdges,
+        KernelId::SusanSmoothing,
+        KernelId::JpegEncode,
+        KernelId::Tiff2Bw,
+        KernelId::Tiff2Rgba,
+        KernelId::Fft,
+    ];
+
+    /// The three kernels used by the Section 8.1 quality study.
+    pub const QUALITY_TRIO: [KernelId; 3] =
+        [KernelId::Sobel, KernelId::Median, KernelId::Integral];
+
+    /// The testbench name as printed in the paper.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelId::Sobel => "sobel",
+            KernelId::Median => "median",
+            KernelId::Integral => "integral",
+            KernelId::SusanCorners => "susan.corners",
+            KernelId::SusanEdges => "susan.edges",
+            KernelId::SusanSmoothing => "susan.smoothing",
+            KernelId::JpegEncode => "jpeg.encode.mb",
+            KernelId::Tiff2Bw => "tiff2bw",
+            KernelId::Tiff2Rgba => "tiff2rgba",
+            KernelId::Fft => "FFT",
+        }
+    }
+
+    /// Output comparison domain.
+    pub fn quality_domain(self) -> QualityDomain {
+        match self {
+            KernelId::Integral | KernelId::Fft | KernelId::JpegEncode => QualityDomain::Raw,
+            _ => QualityDomain::Clamped,
+        }
+    }
+
+    /// Builds the one-frame ISA program and layout for a `width × height`
+    /// frame.
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimensions a kernel cannot handle (e.g. FFT requires
+    /// `width·height` to be a power of two ≥ 8; JPEG requires multiples of
+    /// its 8-pixel block).
+    pub fn spec(self, width: usize, height: usize) -> KernelSpec {
+        match self {
+            KernelId::Sobel => sobel::spec(width, height),
+            KernelId::Median => median::spec(width, height),
+            KernelId::Integral => integral::spec(width, height),
+            KernelId::SusanCorners => susan::spec(susan::Variant::Corners, width, height),
+            KernelId::SusanEdges => susan::spec(susan::Variant::Edges, width, height),
+            KernelId::SusanSmoothing => susan::spec(susan::Variant::Smoothing, width, height),
+            KernelId::JpegEncode => jpeg::spec(width, height),
+            KernelId::Tiff2Bw => tiff::spec_bw(width, height),
+            KernelId::Tiff2Rgba => tiff::spec_rgba(width, height),
+            KernelId::Fft => fft::spec(width, height),
+        }
+    }
+
+    /// Full-precision host reference with identical integer semantics.
+    ///
+    /// `input` must be exactly the kernel's input region contents.
+    pub fn golden(self, input: &[i32], width: usize, height: usize) -> Vec<i32> {
+        match self {
+            KernelId::Sobel => sobel::golden(input, width, height),
+            KernelId::Median => median::golden(input, width, height),
+            KernelId::Integral => integral::golden(input, width, height),
+            KernelId::SusanCorners => susan::golden(susan::Variant::Corners, input, width, height),
+            KernelId::SusanEdges => susan::golden(susan::Variant::Edges, input, width, height),
+            KernelId::SusanSmoothing => {
+                susan::golden(susan::Variant::Smoothing, input, width, height)
+            }
+            KernelId::JpegEncode => jpeg::golden(input, width, height),
+            KernelId::Tiff2Bw => tiff::golden_bw(input, width, height),
+            KernelId::Tiff2Rgba => tiff::golden_rgba(input, width, height),
+            KernelId::Fft => fft::golden(input, width, height),
+        }
+    }
+
+    /// Generates a deterministic, kernel-appropriate input frame.
+    pub fn make_input(self, width: usize, height: usize, seed: u64) -> Vec<i32> {
+        match self {
+            KernelId::Tiff2Bw | KernelId::Tiff2Rgba => {
+                image::RgbImage::synthetic(width, height, seed).to_words()
+            }
+            KernelId::JpegEncode => jpeg::make_input(width, height, seed),
+            KernelId::Fft => fft::make_input(width, height, seed),
+            _ => image::Image::texture(width, height, seed).to_words(),
+        }
+    }
+}
+
+impl fmt::Display for KernelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A fully-built kernel: program plus memory map.
+#[derive(Debug, Clone)]
+pub struct KernelSpec {
+    /// Which testbench this is.
+    pub id: KernelId,
+    /// Frame width in pixels (FFT: flattened signal factor).
+    pub width: usize,
+    /// Frame height in pixels.
+    pub height: usize,
+    /// The one-frame program (starts with `mark_resume`, ends with
+    /// `frame_done; halt`).
+    pub program: Program,
+    /// Total data-memory words required.
+    pub mem_words: usize,
+    /// Constant tables: `(base address, contents)`.
+    pub tables: Vec<(u32, Vec<i32>)>,
+    /// Input-frame word range.
+    pub input: Range<u32>,
+    /// Output-frame word range.
+    pub output: Range<u32>,
+}
+
+impl KernelSpec {
+    /// Input length in words.
+    pub fn input_len(&self) -> usize {
+        (self.input.end - self.input.start) as usize
+    }
+
+    /// Output length in words.
+    pub fn output_len(&self) -> usize {
+        (self.output.end - self.output.start) as usize
+    }
+
+    /// Allocates a data memory and installs the constant tables into every
+    /// version plane.
+    pub fn build_memory(&self) -> VersionedMemory {
+        let mut mem = VersionedMemory::new(self.mem_words);
+        for (base, data) in &self.tables {
+            for (i, &v) in data.iter().enumerate() {
+                for version in 0..nvp_nvm::NUM_VERSIONS {
+                    mem.write(*base as usize + i, version, v, 8);
+                }
+            }
+        }
+        mem
+    }
+
+    /// Loads an input frame into the given memory version.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frame.len()` does not match the input region.
+    pub fn load_input(&self, mem: &mut VersionedMemory, version: usize, frame: &[i32]) {
+        assert_eq!(frame.len(), self.input_len(), "input frame length mismatch");
+        for (i, &v) in frame.iter().enumerate() {
+            mem.write(self.input.start as usize + i, version, v, 8);
+        }
+    }
+
+    /// Zeroes the output region of a memory version (frame reset).
+    pub fn clear_output(&self, mem: &mut VersionedMemory, version: usize) {
+        for a in self.output.clone() {
+            mem.write(a as usize, version, 0, 0);
+        }
+    }
+
+    /// Reads the output frame from the given memory version.
+    pub fn read_output(&self, mem: &VersionedMemory, version: usize) -> Vec<i32> {
+        self.output
+            .clone()
+            .map(|a| mem.read(a as usize, version))
+            .collect()
+    }
+
+    /// Per-element output precision tags from the given memory version.
+    pub fn read_output_precision(&self, mem: &VersionedMemory, version: usize) -> Vec<u8> {
+        self.output
+            .clone()
+            .map(|a| mem.precision(a as usize, version))
+            .collect()
+    }
+}
+
+/// Common layout builder used by the kernel modules: tables at 0, then
+/// input, then output, plus a small scratch margin.
+pub(crate) fn layout(
+    id: KernelId,
+    width: usize,
+    height: usize,
+    tables: Vec<(u32, Vec<i32>)>,
+    input_len: usize,
+    output_len: usize,
+    program: Program,
+) -> KernelSpec {
+    let tables_end: u32 = tables
+        .iter()
+        .map(|(b, d)| b + d.len() as u32)
+        .max()
+        .unwrap_or(0);
+    let input = tables_end..tables_end + input_len as u32;
+    let output = input.end..input.end + output_len as u32;
+    KernelSpec {
+        id,
+        width,
+        height,
+        program,
+        mem_words: output.end as usize,
+        tables,
+        input,
+        output,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(KernelId::Sobel.name(), "sobel");
+        assert_eq!(KernelId::JpegEncode.name(), "jpeg.encode.mb");
+        assert_eq!(KernelId::ALL.len(), 10);
+    }
+
+    #[test]
+    fn quality_domains() {
+        assert_eq!(KernelId::Sobel.quality_domain(), QualityDomain::Clamped);
+        assert_eq!(KernelId::Integral.quality_domain(), QualityDomain::Raw);
+        assert_eq!(KernelId::Fft.quality_domain(), QualityDomain::Raw);
+    }
+
+    #[test]
+    fn display_names() {
+        for k in KernelId::ALL {
+            assert!(!k.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn every_kernel_passes_ac_isolation() {
+        // Approximation must never reach control flow or addressing in any
+        // generated program (the compiler contract of Section 5). The
+        // SUSAN kernels deliberately index their reciprocal table with a
+        // clamped count register (r7), which the compiler sanitizes.
+        use nvp_isa::analysis::verify_ac_isolation_with;
+        for id in KernelId::ALL {
+            let (w, h) = match id {
+                KernelId::Fft => (8, 4),
+                KernelId::JpegEncode => (16, 8),
+                _ => (8, 8),
+            };
+            let sanitized: u16 = match id {
+                // SUSAN indexes its reciprocal table with a count clamped
+                // into 0..=9 before use.
+                KernelId::SusanCorners
+                | KernelId::SusanEdges
+                | KernelId::SusanSmoothing => 1 << 7,
+                // Motion estimation *deliberately* lets the approximate
+                // SAD steer the best-vector comparison: the branch picks
+                // among equally-safe outputs, degrading only compressed
+                // size (Section 8.6's quality knob).
+                KernelId::JpegEncode => (1 << 10) | (1 << 11),
+                _ => 0,
+            };
+            let spec = id.spec(w, h);
+            let v = verify_ac_isolation_with(&spec.program, sanitized);
+            assert!(v.is_empty(), "{id}: {:?}", v);
+        }
+    }
+
+    #[test]
+    fn every_kernel_program_encodes_and_decodes() {
+        use nvp_isa::{decode_program, encode_program};
+        for id in KernelId::ALL {
+            let (w, h) = match id {
+                KernelId::Fft => (8, 4),
+                KernelId::JpegEncode => (16, 8),
+                _ => (8, 8),
+            };
+            let spec = id.spec(w, h);
+            let back = decode_program(&encode_program(&spec.program)).unwrap();
+            assert_eq!(spec.program, back, "{id}");
+        }
+    }
+
+    #[test]
+    fn kernel_static_profiles_are_sane() {
+        use nvp_isa::analysis::analyze;
+        for id in KernelId::ALL {
+            let (w, h) = match id {
+                KernelId::Fft => (8, 4),
+                KernelId::JpegEncode => (16, 8),
+                _ => (8, 8),
+            };
+            let spec = id.spec(w, h);
+            let s = analyze(&spec.program);
+            assert!(s.backward_branches >= 1, "{id} has loops");
+            assert_eq!(s.resume_marks, 1, "{id} has one resume marker");
+            assert!(s.total() >= 10, "{id}");
+        }
+    }
+}

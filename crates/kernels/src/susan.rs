@@ -1,0 +1,301 @@
+//! Simplified SUSAN family: smoothing, edge and corner response.
+//!
+//! SUSAN compares each 3×3 neighbour against the center (the nucleus) with
+//! a brightness threshold `t`; the count of similar neighbours is the USAN
+//! area. Responses:
+//!
+//! * **smoothing** — average of the similar neighbours plus the nucleus
+//!   (structure-preserving blur), via a reciprocal table (the datapath has
+//!   no divider),
+//! * **edges** — `max(0, g − usan) · scale` with geometric threshold `g = 6`,
+//! * **corners** — same with the stricter `g = 5` and a tighter brightness
+//!   threshold.
+//!
+//! The similarity test is branch-free (`min`/`max` clamping) so the lowered
+//! program is straight-line per neighbour — the shape SIMD needs.
+
+use crate::spec::{layout, KernelId, KernelSpec};
+use nvp_isa::{ProgramBuilder, Reg};
+
+/// Which SUSAN response to build.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Structure-preserving smoothing.
+    Smoothing,
+    /// Edge response.
+    Edges,
+    /// Corner response.
+    Corners,
+}
+
+impl Variant {
+    fn params(self) -> SusanParams {
+        match self {
+            Variant::Smoothing => SusanParams {
+                threshold: 27,
+                geometric: 0,
+                scale: 0,
+            },
+            Variant::Edges => SusanParams {
+                threshold: 27,
+                geometric: 6,
+                scale: 42,
+            },
+            Variant::Corners => SusanParams {
+                threshold: 20,
+                geometric: 5,
+                scale: 51,
+            },
+        }
+    }
+
+    fn kernel_id(self) -> KernelId {
+        match self {
+            Variant::Smoothing => KernelId::SusanSmoothing,
+            Variant::Edges => KernelId::SusanEdges,
+            Variant::Corners => KernelId::SusanCorners,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct SusanParams {
+    threshold: i32,
+    geometric: i32,
+    scale: i32,
+}
+
+const X: Reg = Reg(0);
+const Y: Reg = Reg(1);
+const IDX: Reg = Reg(2);
+const BOUND: Reg = Reg(3);
+const CENTER: Reg = Reg(4);
+const NB: Reg = Reg(5);
+const M: Reg = Reg(6);
+const CNT: Reg = Reg(7); // precise: used as a table index
+const PROD: Reg = Reg(8);
+const SUM: Reg = Reg(9);
+const RESP: Reg = Reg(10);
+
+/// Reciprocal table `recip[c] = round(256/c)` for `c = 0..=9` (index 0
+/// unused).
+fn recip_table() -> Vec<i32> {
+    let mut t = vec![0i32];
+    for c in 1..=9i64 {
+        t.push(((256 + c / 2) / c) as i32);
+    }
+    t
+}
+
+/// Builds a SUSAN kernel for a `width × height` frame.
+///
+/// # Panics
+///
+/// Panics if the frame is smaller than 3×3.
+pub fn spec(variant: Variant, width: usize, height: usize) -> KernelSpec {
+    assert!(width >= 3 && height >= 3, "susan needs at least a 3x3 frame");
+    let p = variant.params();
+    let n = width * height;
+    let w = width as i32;
+    // Table (smoothing only) at 0; input after.
+    let tables = if variant == Variant::Smoothing {
+        vec![(0u32, recip_table())]
+    } else {
+        Vec::new()
+    };
+    let tables_len: i32 = tables.iter().map(|(_, d)| d.len() as i32).sum();
+    let in_base = tables_len;
+    let out_base = in_base + n as i32;
+
+    let mut b = ProgramBuilder::new();
+    for r in [4u8, 5, 6, 8, 9, 10] {
+        b.mark_ac(Reg(r));
+    }
+    b.mark_loop_var(X).mark_loop_var(Y);
+    b.approx_region(in_base as u32, out_base as u32 + n as u32);
+
+    b.mark_resume(0);
+    b.ldi(Y, 1);
+    let y_top = b.label();
+    b.place(y_top);
+    b.ldi(X, 1);
+    let x_top = b.label();
+    b.place(x_top);
+    b.muli(IDX, Y, w).add(IDX, IDX, X);
+    b.ld_ind(CENTER, IDX, in_base);
+    b.ldi(CNT, 0);
+    if variant == Variant::Smoothing {
+        b.ldi(SUM, 0);
+    }
+    for dy in -1..=1 {
+        for dx in -1..=1 {
+            if dy == 0 && dx == 0 {
+                continue;
+            }
+            b.ld_ind(NB, IDX, in_base + dy * w + dx);
+            // m = 1 if |nb - center| <= t else 0, branch-free:
+            // m = clamp((t+1) - |nb-center|, 0, 1)
+            b.sub(M, NB, CENTER)
+                .abs(M, M)
+                .addi(M, M, -(p.threshold + 1))
+                .muli(M, M, -1)
+                .mini(M, M, 1)
+                .maxi(M, M, 0);
+            b.add(CNT, CNT, M);
+            if variant == Variant::Smoothing {
+                b.mul(PROD, NB, M).add(SUM, SUM, PROD);
+            }
+        }
+    }
+    // Clamp the (possibly noise-inflated) count into table range.
+    b.maxi(CNT, CNT, 0).mini(CNT, CNT, 8);
+    match variant {
+        Variant::Smoothing => {
+            // Include the nucleus, then divide by count via the table.
+            b.add(SUM, SUM, CENTER).addi(CNT, CNT, 1);
+            b.ld_ind(RESP, CNT, 0) // recip[cnt]
+                .mul(RESP, SUM, RESP)
+                .shr(RESP, RESP, 8)
+                .mini(RESP, RESP, 255)
+                .maxi(RESP, RESP, 0);
+        }
+        Variant::Edges | Variant::Corners => {
+            // resp = max(0, g - usan) * scale, clamped to 255.
+            b.ldi(RESP, p.geometric)
+                .sub(RESP, RESP, CNT)
+                .maxi(RESP, RESP, 0)
+                .muli(RESP, RESP, p.scale)
+                .mini(RESP, RESP, 255);
+        }
+    }
+    b.st_ind(IDX, out_base, RESP);
+
+    b.addi(X, X, 1).ldi(BOUND, w - 1).brlt(X, BOUND, x_top);
+    b.addi(Y, Y, 1)
+        .ldi(BOUND, height as i32 - 1)
+        .brlt(Y, BOUND, y_top);
+    b.frame_done().halt();
+
+    layout(
+        variant.kernel_id(),
+        width,
+        height,
+        tables,
+        n,
+        n,
+        b.build().expect("susan program must assemble"),
+    )
+}
+
+/// Full-precision reference.
+pub fn golden(variant: Variant, input: &[i32], width: usize, height: usize) -> Vec<i32> {
+    assert_eq!(input.len(), width * height, "input length mismatch");
+    let p = variant.params();
+    let recip = recip_table();
+    let mut out = vec![0i32; width * height];
+    for y in 1..height - 1 {
+        for x in 1..width - 1 {
+            let c = input[y * width + x];
+            let mut cnt = 0i32;
+            let mut sum = 0i32;
+            for dy in -1i32..=1 {
+                for dx in -1i32..=1 {
+                    if dy == 0 && dx == 0 {
+                        continue;
+                    }
+                    let nb = input[(y as i32 + dy) as usize * width + (x as i32 + dx) as usize];
+                    let m = ((p.threshold + 1) - (nb - c).abs()).clamp(0, 1);
+                    cnt += m;
+                    sum += nb * m;
+                }
+            }
+            let cnt = cnt.clamp(0, 8);
+            out[y * width + x] = match variant {
+                Variant::Smoothing => {
+                    let sum = sum + c;
+                    let cnt = cnt + 1;
+                    ((sum * recip[cnt as usize]) >> 8).clamp(0, 255)
+                }
+                Variant::Edges | Variant::Corners => {
+                    ((p.geometric - cnt).max(0) * p.scale).min(255)
+                }
+            };
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::Image;
+    use nvp_isa::Vm;
+
+    fn run_vm(variant: Variant, width: usize, height: usize, frame: &[i32]) -> Vec<i32> {
+        let spec = spec(variant, width, height);
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        vm.mem_mut().clone_from(&spec.build_memory());
+        spec.load_input(vm.mem_mut(), 0, frame);
+        vm.run_to_halt(10_000_000).expect("susan must halt");
+        spec.read_output(vm.mem(), 0)
+    }
+
+    #[test]
+    fn vm_matches_golden_all_variants() {
+        let img = Image::blobs(10, 9, 4);
+        let frame = img.to_words();
+        for v in [Variant::Smoothing, Variant::Edges, Variant::Corners] {
+            assert_eq!(
+                run_vm(v, 10, 9, &frame),
+                golden(v, &frame, 10, 9),
+                "variant {v:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn smoothing_preserves_flat_regions() {
+        let frame = vec![100i32; 8 * 8];
+        let out = golden(Variant::Smoothing, &frame, 8, 8);
+        // recip rounding: (900 * round(256/9)) >> 8 = (900*28)>>8 = 98
+        for y in 1..7 {
+            for x in 1..7 {
+                let v = out[y * 8 + x];
+                assert!((v - 100).abs() <= 3, "got {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn edges_fire_on_boundaries_only() {
+        let img = Image::from_fn(10, 10, |x, _| if x < 5 { 0 } else { 255 });
+        let out = golden(Variant::Edges, &img.to_words(), 10, 10);
+        assert_eq!(out[3 * 10 + 2], 0, "flat region must be quiet");
+        assert!(out[3 * 10 + 5] > 0, "edge must respond");
+    }
+
+    #[test]
+    fn corners_stricter_than_edges() {
+        let img = Image::checkerboard(12, 12, 4);
+        let frame = img.to_words();
+        let e: i64 = golden(Variant::Edges, &frame, 12, 12)
+            .iter()
+            .map(|&v| (v > 0) as i64)
+            .sum();
+        let c: i64 = golden(Variant::Corners, &frame, 12, 12)
+            .iter()
+            .map(|&v| (v > 0) as i64)
+            .sum();
+        assert!(c < e, "corners {c} should fire less than edges {e}");
+        assert!(c > 0, "checkerboard must have corners");
+    }
+
+    #[test]
+    fn recip_table_values() {
+        let t = recip_table();
+        assert_eq!(t[1], 256);
+        assert_eq!(t[2], 128);
+        assert_eq!(t[4], 64);
+        assert_eq!(t[9], 28);
+    }
+}

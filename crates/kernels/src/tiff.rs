@@ -1,0 +1,179 @@
+//! TIFF conversion kernels: `tiff2bw` (color → grayscale) and `tiff2rgba`
+//! (RGB → premultiplied RGBA).
+//!
+//! Both are pure per-pixel streaming kernels — the easiest shape for
+//! incidental SIMD — operating on planar RGB input (R plane, then G, then
+//! B).
+//!
+//! * `tiff2bw`:  `gray = (77·R + 150·G + 29·B) >> 8` (ITU-601 weights).
+//! * `tiff2rgba`: premultiplies each channel by a constant alpha
+//!   (`(c·α) >> 8`, α = 200) and emits a fourth constant alpha plane.
+
+use crate::spec::{layout, KernelId, KernelSpec};
+use nvp_isa::{ProgramBuilder, Reg};
+
+const I: Reg = Reg(0);
+const BOUND: Reg = Reg(3);
+
+/// The constant alpha used by `tiff2rgba`.
+pub const ALPHA: i32 = 200;
+
+/// Builds `tiff2bw` for a `width × height` frame (input: 3 planes).
+pub fn spec_bw(width: usize, height: usize) -> KernelSpec {
+    let n = (width * height) as i32;
+    let in_base = 0i32;
+    let out_base = 3 * n;
+
+    let mut b = ProgramBuilder::new();
+    for r in 4..=7 {
+        b.mark_ac(Reg(r));
+    }
+    b.mark_loop_var(I);
+    b.approx_region(0, (4 * n) as u32);
+
+    b.mark_resume(0);
+    b.ldi(I, 0);
+    let top = b.label();
+    b.place(top);
+    b.ld_ind(Reg(4), I, in_base) // R
+        .ld_ind(Reg(5), I, in_base + n) // G
+        .ld_ind(Reg(6), I, in_base + 2 * n) // B
+        .muli(Reg(4), Reg(4), 77)
+        .muli(Reg(5), Reg(5), 150)
+        .muli(Reg(6), Reg(6), 29)
+        .add(Reg(4), Reg(4), Reg(5))
+        .add(Reg(4), Reg(4), Reg(6))
+        .shr(Reg(4), Reg(4), 8)
+        .mini(Reg(4), Reg(4), 255)
+        .maxi(Reg(4), Reg(4), 0)
+        .st_ind(I, out_base, Reg(4));
+    b.addi(I, I, 1).ldi(BOUND, n).brlt(I, BOUND, top);
+    b.frame_done().halt();
+
+    layout(
+        KernelId::Tiff2Bw,
+        width,
+        height,
+        Vec::new(),
+        3 * n as usize,
+        n as usize,
+        b.build().expect("tiff2bw program must assemble"),
+    )
+}
+
+/// Full-precision `tiff2bw` reference.
+pub fn golden_bw(input: &[i32], width: usize, height: usize) -> Vec<i32> {
+    let n = width * height;
+    assert_eq!(input.len(), 3 * n, "input must hold 3 planes");
+    (0..n)
+        .map(|i| {
+            ((77 * input[i] + 150 * input[n + i] + 29 * input[2 * n + i]) >> 8).clamp(0, 255)
+        })
+        .collect()
+}
+
+/// Builds `tiff2rgba` for a `width × height` frame (input: 3 planes,
+/// output: 4 planes).
+pub fn spec_rgba(width: usize, height: usize) -> KernelSpec {
+    let n = (width * height) as i32;
+    let in_base = 0i32;
+    let out_base = 3 * n;
+
+    let mut b = ProgramBuilder::new();
+    for r in 4..=7 {
+        b.mark_ac(Reg(r));
+    }
+    b.mark_loop_var(I);
+    b.approx_region(0, (7 * n) as u32);
+
+    b.mark_resume(0);
+    b.ldi(I, 0);
+    let top = b.label();
+    b.place(top);
+    for plane in 0..3i32 {
+        b.ld_ind(Reg(4), I, in_base + plane * n)
+            .muli(Reg(4), Reg(4), ALPHA)
+            .shr(Reg(4), Reg(4), 8)
+            .mini(Reg(4), Reg(4), 255)
+            .maxi(Reg(4), Reg(4), 0)
+            .st_ind(I, out_base + plane * n, Reg(4));
+    }
+    // Constant alpha plane.
+    b.ldi(Reg(5), ALPHA).st_ind(I, out_base + 3 * n, Reg(5));
+    b.addi(I, I, 1).ldi(BOUND, n).brlt(I, BOUND, top);
+    b.frame_done().halt();
+
+    layout(
+        KernelId::Tiff2Rgba,
+        width,
+        height,
+        Vec::new(),
+        3 * n as usize,
+        4 * n as usize,
+        b.build().expect("tiff2rgba program must assemble"),
+    )
+}
+
+/// Full-precision `tiff2rgba` reference.
+pub fn golden_rgba(input: &[i32], width: usize, height: usize) -> Vec<i32> {
+    let n = width * height;
+    assert_eq!(input.len(), 3 * n, "input must hold 3 planes");
+    let mut out = Vec::with_capacity(4 * n);
+    for plane in 0..3 {
+        for i in 0..n {
+            out.push(((input[plane * n + i] * ALPHA) >> 8).clamp(0, 255));
+        }
+    }
+    out.extend(std::iter::repeat(ALPHA).take(n));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::image::RgbImage;
+    use nvp_isa::Vm;
+
+    fn run_vm(spec: &KernelSpec, frame: &[i32]) -> Vec<i32> {
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        spec.load_input(vm.mem_mut(), 0, frame);
+        vm.run_to_halt(10_000_000).expect("tiff must halt");
+        spec.read_output(vm.mem(), 0)
+    }
+
+    #[test]
+    fn bw_vm_matches_golden() {
+        let rgb = RgbImage::synthetic(7, 6, 1);
+        let frame = rgb.to_words();
+        assert_eq!(
+            run_vm(&spec_bw(7, 6), &frame),
+            golden_bw(&frame, 7, 6)
+        );
+    }
+
+    #[test]
+    fn rgba_vm_matches_golden() {
+        let rgb = RgbImage::synthetic(5, 5, 2);
+        let frame = rgb.to_words();
+        assert_eq!(
+            run_vm(&spec_rgba(5, 5), &frame),
+            golden_rgba(&frame, 5, 5)
+        );
+    }
+
+    #[test]
+    fn bw_weights_sum_to_one() {
+        // Pure white stays (nearly) white, pure black stays black.
+        let white = vec![255; 3];
+        assert_eq!(golden_bw(&white, 1, 1), vec![255]);
+        let black = vec![0; 3];
+        assert_eq!(golden_bw(&black, 1, 1), vec![0]);
+    }
+
+    #[test]
+    fn rgba_alpha_plane_constant() {
+        let rgb = RgbImage::synthetic(4, 4, 3);
+        let out = golden_rgba(&rgb.to_words(), 4, 4);
+        assert!(out[48..64].iter().all(|&a| a == ALPHA));
+    }
+}

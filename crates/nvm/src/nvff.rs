@@ -1,0 +1,108 @@
+//! Non-volatile flip-flop (NVFF) bank cost model.
+//!
+//! The NVP's pipeline latches, program counter and register file are shadowed
+//! by distributed non-volatile flip-flops (Figure 6: "With NVM Flip-Flops").
+//! During a backup these are written in situ and in parallel; the cost is
+//! therefore per-bit write energy times the number of architectural bits,
+//! shaped by the same retention policy as the data backup.
+//!
+//! Architectural state of the paper's modified 8051-class core:
+//!
+//! * 16 × 8-bit registers × 4 versions (the extended register file),
+//! * 2-byte PC plus the 4-entry × 2-byte resume-point PC buffer,
+//! * ~6 bytes of pipeline/status latches (5-stage pipeline).
+
+use crate::retention::RetentionPolicy;
+use crate::sttram::SttRamModel;
+use nvp_power::Energy;
+use serde::{Deserialize, Serialize};
+
+/// A bank of non-volatile flip-flops covering the core's architectural
+/// state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct NvffBank {
+    /// Bytes of register-file state to checkpoint.
+    pub regfile_bytes: usize,
+    /// Bytes of PC + resume-point buffer state.
+    pub pc_bytes: usize,
+    /// Bytes of pipeline/control latches.
+    pub pipeline_bytes: usize,
+}
+
+impl NvffBank {
+    /// The baseline precise 8-bit NVP: a single register-file version.
+    pub fn baseline_8bit() -> Self {
+        NvffBank {
+            regfile_bytes: 16,
+            pc_bytes: 2,
+            pipeline_bytes: 6,
+        }
+    }
+
+    /// The incidental NVP: 4-version register file plus the 4-entry
+    /// resume-point PC buffer (Section 4).
+    pub fn incidental() -> Self {
+        NvffBank {
+            regfile_bytes: 16 * 4,
+            pc_bytes: 2 + 2 * 4,
+            pipeline_bytes: 6,
+        }
+    }
+
+    /// Total checkpointed bytes.
+    pub fn total_bytes(&self) -> usize {
+        self.regfile_bytes + self.pc_bytes + self.pipeline_bytes
+    }
+
+    /// Energy of one full backup of this bank.
+    ///
+    /// Control state (PC, pipeline) is always written at full retention —
+    /// corrupting it would crash the program rather than degrade quality —
+    /// while register-file data bits use the supplied (possibly shaped)
+    /// policy. This mirrors the paper's split between approximable data
+    /// ("src") and precise control state.
+    pub fn backup_energy(&self, model: &SttRamModel, data_policy: RetentionPolicy) -> Energy {
+        let data = data_policy.word_write_energy(model) * self.regfile_bytes as f64;
+        let ctrl = RetentionPolicy::FullRetention.word_write_energy(model)
+            * (self.pc_bytes + self.pipeline_bytes) as f64;
+        data + ctrl
+    }
+
+    /// Energy of one full restore of this bank.
+    pub fn restore_energy(&self, model: &SttRamModel) -> Energy {
+        model.word_read_energy() * self.total_bytes() as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn incidental_bank_is_larger() {
+        let b = NvffBank::baseline_8bit();
+        let i = NvffBank::incidental();
+        assert!(i.total_bytes() > b.total_bytes());
+        assert_eq!(b.total_bytes(), 24);
+        assert_eq!(i.total_bytes(), 64 + 10 + 6);
+    }
+
+    #[test]
+    fn shaped_policy_reduces_backup_energy() {
+        let m = SttRamModel::default();
+        let bank = NvffBank::incidental();
+        let full = bank.backup_energy(&m, RetentionPolicy::FullRetention);
+        let log = bank.backup_energy(&m, RetentionPolicy::Log);
+        assert!(log < full);
+        // Control state stays precise, so savings are bounded below 100%.
+        let floor = RetentionPolicy::FullRetention.word_write_energy(&m) * 16.0;
+        assert!(log > floor);
+    }
+
+    #[test]
+    fn restore_cheaper_than_backup() {
+        let m = SttRamModel::default();
+        let bank = NvffBank::baseline_8bit();
+        assert!(bank.restore_energy(&m) < bank.backup_energy(&m, RetentionPolicy::Log));
+    }
+}

@@ -1,0 +1,335 @@
+//! Multi-version non-volatile data memory with precision metadata
+//! (Section 4, "Data memory").
+//!
+//! To support 4-way incidental SIMD, every data word is extended to four
+//! versions (one per SIMD lane / frame generation), and each version carries
+//! a 3-bit *precision* tag recording how many significant bits it was
+//! computed with. The memory implements the intra-bundle merge operations
+//! used by recompute-and-combine: `sum`, `max`, `min` and `higherbits`
+//! (take the version computed at higher precision).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Number of word versions (the paper's 4-way SIMD limit).
+pub const NUM_VERSIONS: usize = 4;
+
+/// Maximum representable precision in bits (8-bit significant data domain).
+pub const MAX_PRECISION: u8 = 8;
+
+/// One multi-version memory word: four values plus per-version precision.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct VersionedWord {
+    values: [i32; NUM_VERSIONS],
+    precision: [u8; NUM_VERSIONS],
+}
+
+impl VersionedWord {
+    /// Value stored in `version`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version >= 4`.
+    pub fn value(&self, version: usize) -> i32 {
+        self.values[version]
+    }
+
+    /// Precision tag (bits of significance, 0–8) of `version`.
+    pub fn precision(&self, version: usize) -> u8 {
+        self.precision[version]
+    }
+
+    /// Writes a value with its precision tag.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `version >= 4` or `precision > 8`.
+    pub fn set(&mut self, version: usize, value: i32, precision: u8) {
+        assert!(
+            precision <= MAX_PRECISION,
+            "precision {precision} exceeds {MAX_PRECISION} bits"
+        );
+        self.values[version] = value;
+        self.precision[version] = precision;
+    }
+}
+
+/// How two result versions are combined (Table 1's `assemble` modes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MergeMode {
+    /// Element-wise sum (also updates precision to the max of the two).
+    Sum,
+    /// Element-wise maximum value.
+    Max,
+    /// Element-wise minimum value.
+    Min,
+    /// "Results computed with higher bits cover the results of the lower
+    /// bits": per element, keep whichever version has the higher precision
+    /// tag (ties keep the destination).
+    HigherBits,
+}
+
+impl MergeMode {
+    /// All merge modes.
+    pub const ALL: [MergeMode; 4] = [
+        MergeMode::Sum,
+        MergeMode::Max,
+        MergeMode::Min,
+        MergeMode::HigherBits,
+    ];
+}
+
+impl fmt::Display for MergeMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            MergeMode::Sum => "sum",
+            MergeMode::Max => "max",
+            MergeMode::Min => "min",
+            MergeMode::HigherBits => "higherbits",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The versioned NVM data memory.
+///
+/// ```
+/// use nvp_nvm::versioned::{VersionedMemory, MergeMode};
+///
+/// let mut mem = VersionedMemory::new(16);
+/// mem.write(0, 3, 100, 8); // version 3, full precision
+/// mem.write(0, 0, 90, 2);  // version 0, 2-bit approximate
+/// mem.merge_word(0, 3, 0, MergeMode::HigherBits);
+/// assert_eq!(mem.read(0, 0), 100); // higher-precision result wins
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct VersionedMemory {
+    words: Vec<VersionedWord>,
+}
+
+impl VersionedMemory {
+    /// Creates a zeroed memory of `len` words.
+    pub fn new(len: usize) -> Self {
+        VersionedMemory {
+            words: vec![VersionedWord::default(); len],
+        }
+    }
+
+    /// Number of words.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the memory has no words.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Reads `addr` from `version`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `addr` or `version` is out of range.
+    pub fn read(&self, addr: usize, version: usize) -> i32 {
+        self.words[addr].value(version)
+    }
+
+    /// Precision tag of `addr` in `version`.
+    pub fn precision(&self, addr: usize, version: usize) -> u8 {
+        self.words[addr].precision(version)
+    }
+
+    /// Writes `value` with `precision` into `addr` of `version`.
+    pub fn write(&mut self, addr: usize, version: usize, value: i32, precision: u8) {
+        self.words[addr].set(version, value, precision);
+    }
+
+    /// Direct access to a word (for bulk operations).
+    pub fn word(&self, addr: usize) -> &VersionedWord {
+        &self.words[addr]
+    }
+
+    /// Copies an entire version plane out as `(value, precision)` pairs.
+    pub fn dump_version(&self, version: usize) -> Vec<(i32, u8)> {
+        self.words
+            .iter()
+            .map(|w| (w.value(version), w.precision(version)))
+            .collect()
+    }
+
+    /// Bulk-loads values into a version at full precision, starting at
+    /// address 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data` is longer than the memory.
+    pub fn load_version(&mut self, version: usize, data: &[i32]) {
+        assert!(data.len() <= self.words.len(), "data exceeds memory size");
+        for (addr, &v) in data.iter().enumerate() {
+            self.words[addr].set(version, v, MAX_PRECISION);
+        }
+    }
+
+    /// Copies `[start, end)` from version `src` to version `dst` (values
+    /// and precision tags). Used when the incidental controller parks or
+    /// activates a frame's data plane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is out of range.
+    pub fn copy_region_version(&mut self, start: usize, end: usize, src: usize, dst: usize) {
+        assert!(start <= end && end <= self.words.len(), "bad copy region");
+        for addr in start..end {
+            let w = &mut self.words[addr];
+            w.values[dst] = w.values[src];
+            w.precision[dst] = w.precision[src];
+        }
+    }
+
+    /// Swaps `[start, end)` between versions `a` and `b`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the region is out of range.
+    pub fn swap_region_versions(&mut self, start: usize, end: usize, a: usize, b: usize) {
+        assert!(start <= end && end <= self.words.len(), "bad swap region");
+        for addr in start..end {
+            let w = &mut self.words[addr];
+            w.values.swap(a, b);
+            w.precision.swap(a, b);
+        }
+    }
+
+    /// Merges `src` version into `dst` version for one word, per `mode`.
+    ///
+    /// The controller's state machine iterates "one pair of memory values at
+    /// a time" (Section 4); [`VersionedMemory::merge_region`] models the full
+    /// region sweep and returns the word count for energy/time accounting.
+    pub fn merge_word(&mut self, addr: usize, src: usize, dst: usize, mode: MergeMode) {
+        let w = &mut self.words[addr];
+        let (sv, sp) = (w.values[src], w.precision[src]);
+        let (dv, dp) = (w.values[dst], w.precision[dst]);
+        let (nv, np) = match mode {
+            MergeMode::Sum => (dv.saturating_add(sv), dp.max(sp)),
+            MergeMode::Max => (dv.max(sv), dp.max(sp)),
+            MergeMode::Min => (dv.min(sv), dp.max(sp)),
+            MergeMode::HigherBits => {
+                if sp > dp {
+                    (sv, sp)
+                } else {
+                    (dv, dp)
+                }
+            }
+        };
+        w.values[dst] = nv;
+        w.precision[dst] = np;
+    }
+
+    /// Merges `src` into `dst` across `[start, end)`; returns the number of
+    /// word-pairs processed (one controller step each).
+    pub fn merge_region(
+        &mut self,
+        start: usize,
+        end: usize,
+        src: usize,
+        dst: usize,
+        mode: MergeMode,
+    ) -> usize {
+        assert!(start <= end && end <= self.words.len(), "bad merge region");
+        for addr in start..end {
+            self.merge_word(addr, src, dst, mode);
+        }
+        end - start
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip_per_version() {
+        let mut m = VersionedMemory::new(4);
+        for v in 0..NUM_VERSIONS {
+            m.write(2, v, (v as i32 + 1) * 10, v as u8 + 1);
+        }
+        for v in 0..NUM_VERSIONS {
+            assert_eq!(m.read(2, v), (v as i32 + 1) * 10);
+            assert_eq!(m.precision(2, v), v as u8 + 1);
+        }
+    }
+
+    #[test]
+    fn merge_higherbits_prefers_precision() {
+        let mut m = VersionedMemory::new(1);
+        m.write(0, 0, 11, 3);
+        m.write(0, 1, 99, 7);
+        m.merge_word(0, 1, 0, MergeMode::HigherBits);
+        assert_eq!(m.read(0, 0), 99);
+        assert_eq!(m.precision(0, 0), 7);
+        // Ties keep the destination.
+        let mut m = VersionedMemory::new(1);
+        m.write(0, 0, 11, 5);
+        m.write(0, 1, 99, 5);
+        m.merge_word(0, 1, 0, MergeMode::HigherBits);
+        assert_eq!(m.read(0, 0), 11);
+    }
+
+    #[test]
+    fn merge_value_modes() {
+        let mut m = VersionedMemory::new(1);
+        m.write(0, 0, 10, 2);
+        m.write(0, 1, -3, 8);
+        m.merge_word(0, 1, 0, MergeMode::Max);
+        assert_eq!(m.read(0, 0), 10);
+        assert_eq!(m.precision(0, 0), 8);
+        m.write(0, 0, 10, 2);
+        m.merge_word(0, 1, 0, MergeMode::Min);
+        assert_eq!(m.read(0, 0), -3);
+        m.write(0, 0, 10, 2);
+        m.merge_word(0, 1, 0, MergeMode::Sum);
+        assert_eq!(m.read(0, 0), 7);
+    }
+
+    #[test]
+    fn merge_sum_saturates() {
+        let mut m = VersionedMemory::new(1);
+        m.write(0, 0, i32::MAX, 8);
+        m.write(0, 1, 1, 8);
+        m.merge_word(0, 1, 0, MergeMode::Sum);
+        assert_eq!(m.read(0, 0), i32::MAX);
+    }
+
+    #[test]
+    fn merge_region_counts_pairs() {
+        let mut m = VersionedMemory::new(10);
+        for a in 0..10 {
+            m.write(a, 1, a as i32, 8);
+        }
+        let n = m.merge_region(2, 7, 1, 0, MergeMode::HigherBits);
+        assert_eq!(n, 5);
+        assert_eq!(m.read(3, 0), 3);
+        assert_eq!(m.read(0, 0), 0); // outside region untouched
+    }
+
+    #[test]
+    fn load_and_dump_version() {
+        let mut m = VersionedMemory::new(3);
+        m.load_version(2, &[5, 6]);
+        assert_eq!(m.dump_version(2), vec![(5, 8), (6, 8), (0, 0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "precision")]
+    fn precision_over_8_panics() {
+        let mut m = VersionedMemory::new(1);
+        m.write(0, 0, 1, 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad merge region")]
+    fn bad_region_panics() {
+        let mut m = VersionedMemory::new(2);
+        m.merge_region(0, 5, 0, 1, MergeMode::Sum);
+    }
+}

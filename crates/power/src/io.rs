@@ -1,0 +1,155 @@
+//! Power-trace persistence: CSV import/export.
+//!
+//! The paper's system simulator consumes "power profiles sampled every
+//! 0.1 ms" from measurements. This module reads and writes that format so
+//! real harvester captures can replace the synthetic profiles: one sample
+//! per line, either a bare µW value or `time,power_uw` (the time column is
+//! ignored — samples are assumed equally spaced at one tick).
+
+use crate::profile::PowerProfile;
+use std::fmt;
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+/// Errors from trace import.
+#[derive(Debug)]
+pub enum TraceIoError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A line failed to parse; carries the 1-based line number and text.
+    BadLine(usize, String),
+    /// The file contained no samples.
+    Empty,
+}
+
+impl fmt::Display for TraceIoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceIoError::Io(e) => write!(f, "trace i/o error: {e}"),
+            TraceIoError::BadLine(n, l) => write!(f, "bad trace line {n}: '{l}'"),
+            TraceIoError::Empty => write!(f, "trace file contains no samples"),
+        }
+    }
+}
+
+impl std::error::Error for TraceIoError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TraceIoError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for TraceIoError {
+    fn from(e: std::io::Error) -> Self {
+        TraceIoError::Io(e)
+    }
+}
+
+/// Reads a power trace from a CSV/plain-text file.
+///
+/// Accepted per line: a bare power value in µW, or `time,power_uw`
+/// (anything before the last comma is ignored). Blank lines and lines
+/// starting with `#` are skipped; a non-numeric first line is treated as a
+/// header and skipped.
+///
+/// # Errors
+///
+/// Returns [`TraceIoError::BadLine`] on unparsable content and
+/// [`TraceIoError::Empty`] if no samples survive.
+pub fn read_trace_csv(path: &Path) -> Result<PowerProfile, TraceIoError> {
+    let f = std::fs::File::open(path)?;
+    let mut samples = Vec::new();
+    for (i, line) in BufReader::new(f).lines().enumerate() {
+        let line = line?;
+        let s = line.trim();
+        if s.is_empty() || s.starts_with('#') {
+            continue;
+        }
+        let field = s.rsplit(',').next().unwrap_or(s).trim();
+        match field.parse::<f64>() {
+            Ok(v) => samples.push(v),
+            Err(_) if i == 0 => continue, // header row
+            Err(_) => return Err(TraceIoError::BadLine(i + 1, line)),
+        }
+    }
+    if samples.is_empty() {
+        return Err(TraceIoError::Empty);
+    }
+    Ok(PowerProfile::from_uw(samples))
+}
+
+/// Writes a power trace as `tick,power_uw` CSV with a header row.
+///
+/// # Errors
+///
+/// Propagates I/O errors.
+pub fn write_trace_csv(profile: &PowerProfile, path: &Path) -> std::io::Result<()> {
+    if let Some(dir) = path.parent() {
+        std::fs::create_dir_all(dir)?;
+    }
+    let mut f = std::io::BufWriter::new(std::fs::File::create(path)?);
+    writeln!(f, "tick,power_uw")?;
+    for (t, p) in profile.iter() {
+        writeln!(f, "{},{}", t.0, p.as_uw())?;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::WatchProfile;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("nvp_power_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn roundtrip_preserves_samples() {
+        let p = WatchProfile::P1.synthesize_seconds(0.05);
+        let path = tmp("rt.csv");
+        write_trace_csv(&p, &path).unwrap();
+        let back = read_trace_csv(&path).unwrap();
+        assert_eq!(back.len(), p.len());
+        for (a, b) in p.as_uw_slice().iter().zip(back.as_uw_slice()) {
+            assert!((a - b).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn reads_bare_values_comments_and_header() {
+        let path = tmp("bare.csv");
+        std::fs::write(&path, "power\n# comment\n10.5\n\n0\n2000\n").unwrap();
+        let p = read_trace_csv(&path).unwrap();
+        assert_eq!(p.as_uw_slice(), &[10.5, 0.0, 2000.0]);
+    }
+
+    #[test]
+    fn rejects_garbage_mid_file() {
+        let path = tmp("bad.csv");
+        std::fs::write(&path, "1.0\nnot-a-number\n").unwrap();
+        assert!(matches!(
+            read_trace_csv(&path),
+            Err(TraceIoError::BadLine(2, _))
+        ));
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        let path = tmp("empty.csv");
+        std::fs::write(&path, "# nothing\n").unwrap();
+        assert!(matches!(read_trace_csv(&path), Err(TraceIoError::Empty)));
+    }
+
+    #[test]
+    fn time_column_ignored() {
+        let path = tmp("tc.csv");
+        std::fs::write(&path, "tick,power_uw\n0,5\n1,7.5\n").unwrap();
+        let p = read_trace_csv(&path).unwrap();
+        assert_eq!(p.as_uw_slice(), &[5.0, 7.5]);
+    }
+}

@@ -1,0 +1,103 @@
+//! One function per paper table/figure.
+//!
+//! Naming follows the paper: `fig15` regenerates Figure 15, `table2`
+//! Table 2, and the unnumbered Section 2.2 / 3.2 / 7 results get named
+//! functions (`waitcompute`, `backup_cost`, `frametime`).
+
+pub mod dynamicw;
+pub mod nvmx;
+pub mod overall;
+pub mod powerx;
+pub mod progress;
+pub mod quality;
+pub mod racx;
+pub mod retention;
+pub mod visual;
+
+pub use dynamicw::{fig18, fig19, fig20, fig21};
+pub use nvmx::{fig4, fig5};
+pub use overall::{ablate_buffer, ablate_simd, backup_cost, fig28, fig9, frametime, table2, waitcompute};
+pub use powerx::{fig2, fig3};
+pub use progress::{fig15, fig16};
+pub use quality::{fig12, fig14};
+pub use racx::fig27;
+pub use retention::{fig22, fig24, fig25};
+pub use visual::images;
+
+use crate::{dims, Scale, Table};
+use nvp_kernels::KernelId;
+use nvp_power::synth::WatchProfile;
+use nvp_power::PowerProfile;
+use nvp_sim::{ExecMode, RunReport, SystemConfig, SystemSim};
+
+/// Builds the cycled input-frame set for a kernel at scale.
+pub(crate) fn make_frames(id: KernelId, scale: Scale) -> Vec<Vec<i32>> {
+    let (w, h) = dims(id, scale.img);
+    (0..scale.frames)
+        .map(|i| id.make_input(w, h, 0xBEEF + i as u64))
+        .collect()
+}
+
+/// Runs one kernel/mode/policy combination over a watch profile.
+pub(crate) fn run_system(
+    id: KernelId,
+    scale: Scale,
+    profile: WatchProfile,
+    mode: ExecMode,
+    tweak: impl FnOnce(&mut SystemConfig),
+) -> RunReport {
+    let (w, h) = dims(id, scale.img);
+    let spec = id.spec(w, h);
+    let frames = make_frames(id, scale);
+    let mut cfg = SystemConfig::default();
+    cfg.record_outputs = false;
+    tweak(&mut cfg);
+    let trace = profile.synthesize_seconds(scale.trace_seconds);
+    SystemSim::new(spec, frames, mode, cfg).run(&trace)
+}
+
+/// Like [`run_system`] but over an explicit trace.
+#[allow(dead_code)] // kept for parity with run_system; used by downstream forks
+pub(crate) fn run_system_on(
+    id: KernelId,
+    scale: Scale,
+    trace: &PowerProfile,
+    mode: ExecMode,
+    tweak: impl FnOnce(&mut SystemConfig),
+) -> RunReport {
+    let (w, h) = dims(id, scale.img);
+    let spec = id.spec(w, h);
+    let frames = make_frames(id, scale);
+    let mut cfg = SystemConfig::default();
+    cfg.record_outputs = false;
+    tweak(&mut cfg);
+    SystemSim::new(spec, frames, mode, cfg).run(trace)
+}
+
+/// Every experiment in paper order; used by `repro all`.
+pub fn all(scale: Scale) -> Vec<Table> {
+    let mut out = Vec::new();
+    out.extend(fig2(scale));
+    out.extend(fig3(scale));
+    out.extend(fig4());
+    out.extend(fig5());
+    out.extend(waitcompute(scale));
+    out.extend(backup_cost(scale));
+    out.extend(fig9(scale));
+    out.extend(fig12(scale));
+    out.extend(fig14(scale));
+    out.extend(fig15(scale));
+    out.extend(fig16(scale));
+    out.extend(fig18(scale));
+    out.extend(fig19(scale));
+    out.extend(fig20(scale));
+    out.extend(fig21(scale));
+    out.extend(fig22(scale));
+    out.extend(fig24(scale));
+    out.extend(fig25(scale));
+    out.extend(fig27(scale));
+    out.extend(table2(scale));
+    out.extend(frametime(scale));
+    out.extend(fig28(scale, false));
+    out
+}

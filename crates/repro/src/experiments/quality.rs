@@ -1,0 +1,118 @@
+//! Figures 11–14: fixed-bitwidth quality study (no power interruptions).
+
+use crate::table::fnum;
+use crate::{dims, Scale, Table};
+use nvp_isa::ApproxConfig;
+use nvp_kernels::spec::QualityDomain;
+use nvp_kernels::{quality, KernelId};
+use nvp_sim::run_fixed;
+
+fn quality_sweep(
+    name: &str,
+    title: &str,
+    scale: Scale,
+    cfg_for: impl Fn(u8) -> ApproxConfig,
+) -> Vec<Table> {
+    let mut mse_t = Table::new(
+        format!("{name}_mse"),
+        format!("{title} — MSE vs reliable bits"),
+        &["bits", "sobel", "median", "integral"],
+    );
+    let mut psnr_t = Table::new(
+        format!("{name}_psnr"),
+        format!("{title} — PSNR (dB) vs reliable bits"),
+        &["bits", "sobel", "median", "integral"],
+    );
+    let per_kernel: Vec<(KernelId, Vec<(f64, f64)>)> = KernelId::QUALITY_TRIO
+        .iter()
+        .map(|&id| {
+            let (w, h) = dims(id, scale.img.max(16));
+            let spec = id.spec(w, h);
+            let input = id.make_input(w, h, 0x51);
+            let golden = id.golden(&input, w, h);
+            let series = (1..=7u8)
+                .map(|bits| {
+                    let out = run_fixed(&spec, &input, cfg_for(bits), 0xB1 + bits as u64);
+                    match id.quality_domain() {
+                        QualityDomain::Clamped => {
+                            (quality::mse(&golden, &out), quality::psnr(&golden, &out))
+                        }
+                        QualityDomain::Raw => (
+                            quality::mse_raw(&golden, &out),
+                            quality::psnr_raw(&golden, &out),
+                        ),
+                    }
+                })
+                .collect();
+            (id, series)
+        })
+        .collect();
+    for (i, bits) in (1..=7u8).enumerate().collect::<Vec<_>>().into_iter().rev() {
+        let cells_mse: Vec<String> = std::iter::once(bits.to_string())
+            .chain(per_kernel.iter().map(|(_, s)| fnum(s[i].0)))
+            .collect();
+        let cells_psnr: Vec<String> = std::iter::once(bits.to_string())
+            .chain(per_kernel.iter().map(|(_, s)| fnum(s[i].1)))
+            .collect();
+        mse_t.row(cells_mse);
+        psnr_t.row(cells_psnr);
+    }
+    mse_t.note("paper: median/integral degrade below ~3 bits; sobel already below 6 bits");
+    psnr_t.note("paper: median/integral stay >20 dB even at 1 bit; sobel cannot reach 20 dB below full precision");
+    vec![mse_t, psnr_t]
+}
+
+/// Figures 11–12: approximate-ALU quality (noisy low bits).
+pub fn fig12(scale: Scale) -> Vec<Table> {
+    quality_sweep(
+        "fig12_alu_quality",
+        "Figures 11–12 — approximate ALU",
+        scale,
+        ApproxConfig::alu_only,
+    )
+}
+
+/// Figures 13–14: approximate-memory quality (truncated low bits).
+pub fn fig14(scale: Scale) -> Vec<Table> {
+    quality_sweep(
+        "fig14_mem_quality",
+        "Figures 13–14 — approximate memory",
+        scale,
+        ApproxConfig::mem_only,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quality_degrades_toward_one_bit() {
+        let tables = fig12(Scale::quick());
+        let mse = &tables[0];
+        assert_eq!(mse.rows.len(), 7);
+        // Rows are bits 7 (first) down to 1 (last); median column must grow.
+        let first: f64 = mse.rows[0][2].parse().unwrap();
+        let last: f64 = mse.rows[6][2].parse().unwrap();
+        assert!(last > first, "median MSE: 7-bit {first} vs 1-bit {last}");
+    }
+
+    #[test]
+    fn sobel_worst_of_trio_at_midwidth() {
+        let tables = fig12(Scale::quick());
+        let psnr = &tables[1];
+        // 4-bit row (index 3): sobel PSNR below median PSNR.
+        let row = &psnr.rows[3];
+        assert_eq!(row[0], "4");
+        let sobel: f64 = row[1].parse().unwrap();
+        let median: f64 = row[2].parse().unwrap();
+        assert!(sobel < median, "sobel {sobel} vs median {median}");
+    }
+
+    #[test]
+    fn mem_tables_have_same_shape() {
+        let tables = fig14(Scale::quick());
+        assert_eq!(tables.len(), 2);
+        assert_eq!(tables[0].rows.len(), 7);
+    }
+}

@@ -1,0 +1,64 @@
+//! Figures 26–27: recompute-and-combine quality recovery.
+
+use crate::table::fnum;
+use crate::{dims, Scale, Table};
+use incidental::recompute_and_combine;
+use nvp_kernels::KernelId;
+use nvp_nvm::MergeMode;
+use nvp_power::synth::WatchProfile;
+
+/// Figure 27 (and the right half of Figure 26): PSNR vs recomputation
+/// passes for several `minbits` floors.
+pub fn fig27(scale: Scale) -> Vec<Table> {
+    let id = KernelId::Median;
+    let (w, h) = dims(id, scale.img);
+    let input = id.make_input(w, h, 0x26);
+    let profile = WatchProfile::P1.synthesize_seconds(scale.trace_seconds.max(3.0));
+    let passes = 8usize;
+
+    let mut t = Table::new(
+        "fig27_recompute",
+        "Figure 27 — PSNR (dB) vs recomputation passes (median, higherbits merge)",
+        &[
+            "passes",
+            "minbits 1",
+            "minbits 2",
+            "minbits 4",
+            "minbits 6",
+        ],
+    );
+    let series: Vec<Vec<f64>> = [1u8, 2, 4, 6]
+        .iter()
+        .map(|&mb| {
+            recompute_and_combine(id, w, h, &input, mb, passes, MergeMode::HigherBits, &profile)
+                .psnr_after_pass
+        })
+        .collect();
+    for p in 0..passes {
+        let cells: Vec<String> = std::iter::once((p + 1).to_string())
+            .chain(series.iter().map(|s| fnum(s[p])))
+            .collect();
+        t.row(cells);
+    }
+    t.note("paper: little value in recomputation beyond 4–5 passes");
+    vec![t]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn passes_improve_quality() {
+        let t = &fig27(Scale::quick())[0];
+        assert_eq!(t.rows.len(), 8);
+        for col in 1..=4 {
+            let first: f64 = t.rows[0][col].parse().unwrap_or(f64::INFINITY);
+            let last: f64 = t.rows[7][col].parse().unwrap_or(f64::INFINITY);
+            assert!(
+                last >= first || !last.is_finite(),
+                "col {col}: {first} -> {last}"
+            );
+        }
+    }
+}

@@ -1,0 +1,134 @@
+//! The visual figures: PGM image dumps for Figures 11, 13, 17 and 26.
+
+use crate::table::Table;
+use crate::{dims, Scale};
+use incidental::recompute_and_combine;
+use nvp_isa::ApproxConfig;
+use nvp_kernels::{Image, KernelId};
+use nvp_nvm::{MergeMode, RetentionPolicy};
+use nvp_power::synth::WatchProfile;
+use nvp_sim::{run_fixed, ExecMode, Governor, SystemConfig, SystemSim};
+use std::path::Path;
+
+fn save(dir: &Path, name: &str, w: usize, h: usize, words: &[i32]) -> std::io::Result<String> {
+    let img = Image::from_words(w, h, words);
+    let file = format!("{name}.pgm");
+    img.write_pgm(&dir.join(&file))?;
+    Ok(file)
+}
+
+/// Writes the visual-figure image set into `dir` and returns an index
+/// table of what was written.
+///
+/// # Errors
+///
+/// Propagates I/O errors from image writing.
+pub fn images(scale: Scale, dir: &Path) -> std::io::Result<Vec<Table>> {
+    let mut t = Table::new(
+        "visual_figures",
+        format!("Visual figures (PGM files in {})", dir.display()).as_str(),
+        &["figure", "file", "description"],
+    );
+    let img_edge = scale.img.max(24);
+
+    // Figures 11 & 13: the quality trio under fixed ALU / memory reduction.
+    for id in KernelId::QUALITY_TRIO {
+        let (w, h) = dims(id, img_edge);
+        let spec = id.spec(w, h);
+        let input = id.make_input(w, h, 0x51);
+        let golden = id.golden(&input, w, h);
+        let f = save(dir, &format!("fig11_{id}_baseline"), w, h, &golden)?;
+        t.row(["fig 11/13".into(), f, format!("{id} 8-bit baseline")]);
+        for bits in [6u8, 4, 2, 1] {
+            let alu = run_fixed(&spec, &input, ApproxConfig::alu_only(bits), 3);
+            let f = save(dir, &format!("fig11_{id}_alu_{bits}bit"), w, h, &alu)?;
+            t.row(["fig 11".into(), f, format!("{id}, {bits}-bit ALU")]);
+            let mem = run_fixed(&spec, &input, ApproxConfig::mem_only(bits), 3);
+            let f = save(dir, &format!("fig13_{id}_mem_{bits}bit"), w, h, &mem)?;
+            t.row(["fig 13".into(), f, format!("{id}, {bits}-bit memory")]);
+        }
+    }
+
+    // Figure 17: dynamic bitwidth on median under profiles 1–3.
+    let id = KernelId::Median;
+    let (w, h) = dims(id, img_edge);
+    for wp in &WatchProfile::ALL[..3] {
+        let mut cfg = SystemConfig::default();
+        cfg.frames_limit = Some(1);
+        let rep = SystemSim::new(
+            id.spec(w, h),
+            vec![id.make_input(w, h, 0x17)],
+            ExecMode::Dynamic(Governor::new(1, 8)),
+            cfg,
+        )
+        .run(&wp.synthesize_seconds(scale.trace_seconds.max(3.0)));
+        if let Some(frame) = rep.committed.iter().find(|c| !c.output.is_empty()) {
+            let f = save(
+                dir,
+                &format!("fig17_median_dynamic_p{}", wp.index()),
+                w,
+                h,
+                &frame.output,
+            )?;
+            t.row(["fig 17".into(), f, format!("median, dynamic bits, {wp}")]);
+        }
+    }
+
+    // Figure 26 left: retention policies; right: recomputation passes.
+    let input = id.make_input(w, h, 0x26);
+    for policy in RetentionPolicy::SHAPED {
+        let mut cfg = SystemConfig::default();
+        cfg.backup_policy = policy;
+        cfg.frames_limit = Some(1);
+        let rep = SystemSim::new(
+            id.spec(w, h),
+            vec![input.clone()],
+            ExecMode::Precise,
+            cfg,
+        )
+        .run(&WatchProfile::P2.synthesize_seconds(scale.trace_seconds.max(3.0)));
+        if let Some(frame) = rep.committed.iter().find(|c| !c.output.is_empty()) {
+            let f = save(dir, &format!("fig26_median_{policy}"), w, h, &frame.output)?;
+            t.row(["fig 26".into(), f, format!("median, {policy} retention, profile 2")]);
+        }
+    }
+    let profile = WatchProfile::P1.synthesize_seconds(scale.trace_seconds.max(3.0));
+    for passes in [1usize, 2, 4, 8] {
+        let out = recompute_and_combine(
+            id,
+            w,
+            h,
+            &input,
+            2,
+            passes,
+            MergeMode::HigherBits,
+            &profile,
+        );
+        let f = save(dir, &format!("fig26_recompute_{passes}pass"), w, h, &out.merged)?;
+        t.row([
+            "fig 26".into(),
+            f,
+            format!("median after {passes} recompute pass(es)"),
+        ]);
+    }
+    t.note("view with any PGM-capable viewer (e.g. ImageMagick `display`)");
+    Ok(vec![t])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_the_image_set() {
+        let dir = std::env::temp_dir().join("nvp_repro_visual_test");
+        let tables = images(Scale::quick(), &dir).expect("image dump succeeds");
+        let t = &tables[0];
+        assert!(t.rows.len() >= 20, "only {} images", t.rows.len());
+        // Every listed file must exist and parse back.
+        for r in &t.rows {
+            let img = Image::read_pgm(&dir.join(&r[1])).expect("readable PGM");
+            assert!(img.width() >= 8);
+        }
+    }
+}

@@ -1,0 +1,169 @@
+//! Printable/CSV-exportable result tables.
+
+use std::fmt;
+use std::io::{self, Write};
+use std::path::Path;
+
+/// A labelled table of experiment results.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    /// Table identifier (used as the CSV file stem).
+    pub name: String,
+    /// Human-readable title, typically citing the paper figure.
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Row-major cells, already formatted.
+    pub rows: Vec<Vec<String>>,
+    /// Free-form notes printed under the table (expectations, shape
+    /// targets).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Starts a table with headers.
+    pub fn new<S: Into<String>>(name: S, title: S, columns: &[&str]) -> Table {
+        Table {
+            name: name.into(),
+            title: title.into(),
+            columns: columns.iter().map(|c| c.to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row (must match the column count).
+    ///
+    /// # Panics
+    ///
+    /// Panics on column-count mismatch.
+    pub fn row<I: IntoIterator<Item = String>>(&mut self, cells: I) -> &mut Table {
+        let cells: Vec<String> = cells.into_iter().collect();
+        assert_eq!(
+            cells.len(),
+            self.columns.len(),
+            "row width mismatch in table {}",
+            self.name
+        );
+        self.rows.push(cells);
+        self
+    }
+
+    /// Appends a note line.
+    pub fn note<S: Into<String>>(&mut self, s: S) -> &mut Table {
+        self.notes.push(s.into());
+        self
+    }
+
+    /// Writes the table as CSV into `dir/<name>.csv`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates I/O errors.
+    pub fn write_csv(&self, dir: &Path) -> io::Result<()> {
+        std::fs::create_dir_all(dir)?;
+        let mut f = std::fs::File::create(dir.join(format!("{}.csv", self.name)))?;
+        writeln!(f, "{}", self.columns.join(","))?;
+        for r in &self.rows {
+            let escaped: Vec<String> = r
+                .iter()
+                .map(|c| {
+                    if c.contains(',') || c.contains('"') {
+                        format!("\"{}\"", c.replace('"', "\"\""))
+                    } else {
+                        c.clone()
+                    }
+                })
+                .collect();
+            writeln!(f, "{}", escaped.join(","))?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "\n=== {} ===", self.title)?;
+        let mut widths: Vec<usize> = self.columns.iter().map(|c| c.len()).collect();
+        for r in &self.rows {
+            for (i, c) in r.iter().enumerate() {
+                widths[i] = widths[i].max(c.len());
+            }
+        }
+        let line = |f: &mut fmt::Formatter<'_>, cells: &[String]| -> fmt::Result {
+            let mut out = String::new();
+            for (i, c) in cells.iter().enumerate() {
+                out.push_str(&format!("{:<w$}  ", c, w = widths[i]));
+            }
+            writeln!(f, "{}", out.trim_end())
+        };
+        line(f, &self.columns)?;
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        writeln!(f, "{}", "-".repeat(total.saturating_sub(2)))?;
+        for r in &self.rows {
+            line(f, r)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Formats a float with sensible precision.
+pub fn fnum(v: f64) -> String {
+    if !v.is_finite() {
+        return "inf".into();
+    }
+    if v == 0.0 {
+        "0".into()
+    } else if v.abs() >= 1000.0 {
+        format!("{v:.0}")
+    } else if v.abs() >= 10.0 {
+        format!("{v:.1}")
+    } else {
+        format!("{v:.2}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builds_and_displays() {
+        let mut t = Table::new("demo", "Demo table", &["a", "bb"]);
+        t.row(["1".into(), "2".into()]);
+        t.note("shape target");
+        let s = t.to_string();
+        assert!(s.contains("Demo table"));
+        assert!(s.contains("bb"));
+        assert!(s.contains("note: shape target"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width mismatch")]
+    fn row_width_checked() {
+        let mut t = Table::new("x", "x", &["a"]);
+        t.row(["1".into(), "2".into()]);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        let dir = std::env::temp_dir().join("nvp_repro_test_csv");
+        let mut t = Table::new("csvt", "t", &["a", "b"]);
+        t.row(["x,y".into(), "2".into()]);
+        t.write_csv(&dir).unwrap();
+        let s = std::fs::read_to_string(dir.join("csvt.csv")).unwrap();
+        assert!(s.contains("\"x,y\",2"));
+    }
+
+    #[test]
+    fn fnum_ranges() {
+        assert_eq!(fnum(0.0), "0");
+        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(42.123), "42.1");
+        assert_eq!(fnum(12345.6), "12346");
+        assert_eq!(fnum(f64::INFINITY), "inf");
+    }
+}

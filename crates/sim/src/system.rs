@@ -1,0 +1,982 @@
+//! The execution state machine: power trace → capacitor → VM.
+//!
+//! One [`SystemSim`] runs one kernel over a stream of input frames under a
+//! harvested-power trace. Each 0.1 ms tick banks the rectified income into
+//! the on-chip capacitor and, when running, retires instructions until the
+//! tick's cycle budget (100 cycles at 1 MHz) or the energy reserve is
+//! exhausted. Hitting the reserve triggers a **backup** (a power
+//! emergency); recovering past the start threshold triggers a **restore**,
+//! which either rolls back (conventional NVP) or rolls forward to the
+//! newest buffered frame (incidental NVP, Section 3.1).
+
+use crate::energy::EnergyModel;
+use crate::governor::Governor;
+use crate::resume::{PendingFrame, ResumeController, PARK_SLOTS};
+use nvp_isa::approx::FULL_BITS;
+use nvp_isa::{ApproxConfig, StepEvent, Vm};
+use nvp_kernels::KernelSpec;
+use nvp_nvm::backup::decay_region;
+use nvp_nvm::RetentionPolicy;
+use nvp_power::{Capacitor, Energy, PowerProfile, Rectifier, Ticks};
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+use serde::{Deserialize, Serialize};
+
+/// Cycles available per 0.1 ms tick at the 1 MHz core clock.
+pub const CYCLES_PER_TICK: u64 = 100;
+
+/// Incidental-mode parameters (the `incidental` pragma's bit range).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct IncidentalSetup {
+    /// Minimum bitwidth for incidental (old-frame) lanes.
+    pub minbits: u8,
+    /// Maximum bitwidth for incidental lanes.
+    pub maxbits: u8,
+    /// If true, the live lane also runs at dynamic bitwidth instead of
+    /// full precision (the paper keeps the current iteration precise by
+    /// default, Section 8.6).
+    pub dynamic_current: bool,
+    /// If true (the paper's recompute path), frames parked at a stale
+    /// roll-forward rejoin at the frame's resume marker and are recomputed
+    /// at incidental precision — merging immediately instead of waiting
+    /// for a loop-variable match mid-frame.
+    pub recompute_parked: bool,
+    /// Maximum wall-clock age of the live frame's data. When a restore
+    /// finds the frame older than this, its relevance has lapsed
+    /// ("importance of data drops over time", Section 3.1) and recovery
+    /// rolls *forward* to the newest buffered frame, parking the old work
+    /// for incidental recomputation. Restores within the deadline resume
+    /// in place like a conventional NVP.
+    pub staleness: Ticks,
+}
+
+impl IncidentalSetup {
+    /// The paper's default: precise current lane, old lanes `minbits`–8
+    /// bits, roll-forward after outages longer than 0.15 s (the deep-outage
+    /// scale of Figure 3's tail).
+    pub fn new(minbits: u8, maxbits: u8) -> Self {
+        IncidentalSetup {
+            minbits,
+            maxbits,
+            dynamic_current: false,
+            recompute_parked: true,
+            staleness: Ticks(20_000),
+        }
+    }
+
+    /// Overrides the data-age deadline.
+    pub fn with_staleness(mut self, staleness: Ticks) -> Self {
+        self.staleness = staleness;
+        self
+    }
+}
+
+/// Execution mode: which NVP variant is being simulated.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ExecMode {
+    /// Conventional precise 8-bit NVP (roll-back recovery).
+    Precise,
+    /// Fixed approximate configuration, roll-back recovery
+    /// (Figures 15–16).
+    Fixed(ApproxConfig),
+    /// Dynamic bitwidth on the live lane, roll-back recovery
+    /// (Figures 17–21).
+    Dynamic(Governor),
+    /// Always-4-lane full-precision SIMD baseline (Figure 9).
+    Simd4,
+    /// Incidental NVP: roll-forward recovery plus incidental SIMD over
+    /// parked frames.
+    Incidental(IncidentalSetup),
+}
+
+/// One committed output frame.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CommittedFrame {
+    /// Index of the input frame this output corresponds to.
+    pub input_index: u64,
+    /// SIMD lane it was computed on (0 = the live, full-priority lane).
+    pub lane: u8,
+    /// Tick at which the frame committed.
+    pub commit_tick: Ticks,
+    /// Output words (empty if output recording is disabled).
+    pub output: Vec<i32>,
+    /// Per-element precision tags (parallel to `output`).
+    pub precision: Vec<u8>,
+}
+
+/// Aggregate results of a system run.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct RunReport {
+    /// Lane-weighted instructions persistently committed (the paper's
+    /// forward-progress metric, counting incidental SIMD work).
+    pub forward_progress: u64,
+    /// Instruction issue slots retired (unweighted).
+    pub instructions_retired: u64,
+    /// Number of backups (power emergencies).
+    pub backups: u64,
+    /// Number of restores.
+    pub restores: u64,
+    /// Ticks spent with the core executing.
+    pub on_ticks: u64,
+    /// Total ticks simulated.
+    pub total_ticks: u64,
+    /// Frames committed on the live lane.
+    pub frames_committed: u64,
+    /// Frames committed on incidental lanes.
+    pub incidental_frames: u64,
+    /// Parked frames abandoned by FIFO eviction.
+    pub frames_abandoned: u64,
+    /// Successful incidental SIMD merges.
+    pub merges: u64,
+    /// Retention failures by bit position (0 = LSB), Figure 22.
+    pub retention_failures: [u64; 8],
+    /// Energy banked into the capacitor.
+    pub energy_income: Energy,
+    /// Energy spent executing instructions.
+    pub energy_compute: Energy,
+    /// Energy spent on backups.
+    pub energy_backup: Energy,
+    /// Energy spent on restores.
+    pub energy_restore: Energy,
+    /// Ticks at each live-lane bitwidth; index 0 counts off-ticks
+    /// (Figure 18's utilization histogram).
+    pub bit_utilization: [u64; 9],
+    /// Committed frames in commit order.
+    pub committed: Vec<CommittedFrame>,
+}
+
+impl RunReport {
+    /// Fraction of ticks with the core on (Figure 9's "system-on time").
+    pub fn system_on_fraction(&self) -> f64 {
+        if self.total_ticks == 0 {
+            0.0
+        } else {
+            self.on_ticks as f64 / self.total_ticks as f64
+        }
+    }
+
+    /// Backup energy as a fraction of banked income (Section 3.2's
+    /// 20.1–33 %).
+    pub fn backup_energy_fraction(&self) -> f64 {
+        let income = self.energy_income.as_nj();
+        if income == 0.0 {
+            0.0
+        } else {
+            self.energy_backup.as_nj() / income
+        }
+    }
+
+    /// Total retention failures.
+    pub fn total_retention_failures(&self) -> u64 {
+        self.retention_failures.iter().sum()
+    }
+
+    /// Committed outputs for a given input frame, most recent first.
+    pub fn outputs_for(&self, input_index: u64) -> Vec<&CommittedFrame> {
+        let mut v: Vec<&CommittedFrame> = self
+            .committed
+            .iter()
+            .filter(|c| c.input_index == input_index)
+            .collect();
+        v.reverse();
+        v
+    }
+}
+
+/// System configuration (capacitor, thresholds, energy model, policy).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemConfig {
+    /// On-chip capacitor capacity.
+    pub capacitor_capacity: Energy,
+    /// Capacitor leakage per tick.
+    pub capacitor_leak: Energy,
+    /// AC-DC front end.
+    pub rectifier: Rectifier,
+    /// Energy model.
+    pub energy: EnergyModel,
+    /// Retention policy for backups / marked data.
+    pub backup_policy: RetentionPolicy,
+    /// Hysteresis: the start threshold requires enough energy beyond the
+    /// reserve to run the configured datapath for this many ticks. Cheap
+    /// (narrow/roll-back) configurations therefore restart sooner *and*
+    /// bridge longer gaps per charge, which is what makes backups *drop*
+    /// as bitwidth shrinks (Figure 16).
+    pub run_quantum_ticks: u64,
+    /// Safety factor applied to the backup reserve.
+    pub reserve_safety: f64,
+    /// Extra cost factor for incidental backups (plane parking writes).
+    pub incidental_backup_factor: f64,
+    /// Stop after committing this many live-lane frames (None = run the
+    /// whole trace).
+    pub frames_limit: Option<u64>,
+    /// Whether to record output frames in the report.
+    pub record_outputs: bool,
+    /// Maximum incidental SIMD width (1..=4; ablation knob, paper uses 4).
+    pub max_simd_lanes: u8,
+    /// Resume-buffer parking slots (1..=3; ablation knob, paper uses a
+    /// 4-entry buffer = 3 parked + 1 live).
+    pub park_slots: u8,
+    /// RNG seed for retention decay.
+    pub seed: u64,
+}
+
+impl Default for SystemConfig {
+    fn default() -> Self {
+        SystemConfig {
+            capacitor_capacity: Energy::from_uj(3.5),
+            capacitor_leak: Energy::from_pj(20.0),
+            rectifier: Rectifier::default(),
+            energy: EnergyModel::default(),
+            backup_policy: RetentionPolicy::FullRetention,
+            run_quantum_ticks: 400,
+            reserve_safety: 1.1,
+            incidental_backup_factor: 1.5,
+            frames_limit: None,
+            record_outputs: true,
+            max_simd_lanes: 4,
+            park_slots: 3,
+            seed: 0x5EED,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Phase {
+    Off,
+    Running,
+    Done,
+}
+
+/// The system-level simulator.
+#[derive(Debug)]
+pub struct SystemSim {
+    spec: KernelSpec,
+    frames: Vec<Vec<i32>>,
+    mode: ExecMode,
+    cfg: SystemConfig,
+    vm: Vm,
+    cap: Capacitor,
+    phase: Phase,
+    started: bool,
+    controller: ResumeController,
+    active_inputs: Vec<u64>,
+    next_input: u64,
+    outage_start: u64,
+    /// Tick at which the live frame's data was loaded (staleness clock).
+    live_loaded_at: u64,
+    backup_cost_by_bits: [Energy; 9],
+    rng: SmallRng,
+    report: RunReport,
+}
+
+impl SystemSim {
+    /// Creates a simulator for `spec` over `frames` (cycled if the run
+    /// outlasts them).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `frames` is empty or any frame has the wrong length.
+    pub fn new(spec: KernelSpec, frames: Vec<Vec<i32>>, mode: ExecMode, cfg: SystemConfig) -> Self {
+        assert!(!frames.is_empty(), "need at least one input frame");
+        for f in &frames {
+            assert_eq!(f.len(), spec.input_len(), "frame length mismatch");
+        }
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        *vm.mem_mut() = spec.build_memory();
+        vm.seed_noise(cfg.seed ^ 0xA1);
+        let cap = Capacitor::new(cfg.capacitor_capacity, cfg.capacitor_leak);
+        let mut backup_cost_by_bits = [Energy::ZERO; 9];
+        for (bits, slot) in backup_cost_by_bits.iter_mut().enumerate().skip(1) {
+            *slot = cfg.energy.backup_energy(cfg.backup_policy, bits as u8);
+        }
+        assert!(
+            (1..=4).contains(&cfg.max_simd_lanes),
+            "max_simd_lanes must be 1..=4"
+        );
+        let controller =
+            ResumeController::with_capacity(spec.program.loop_var_mask(), cfg.park_slots as usize);
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        SystemSim {
+            spec,
+            frames,
+            mode,
+            cfg,
+            vm,
+            cap,
+            phase: Phase::Off,
+            started: false,
+            controller,
+            active_inputs: Vec::new(),
+            next_input: 0,
+            outage_start: 0,
+            live_loaded_at: 0,
+            backup_cost_by_bits,
+            rng,
+            report: RunReport::default(),
+        }
+    }
+
+    fn is_incidental(&self) -> bool {
+        matches!(self.mode, ExecMode::Incidental(_))
+    }
+
+    /// Approximation configuration to assume when sizing the start
+    /// threshold (Figure 9's per-mode thresholds).
+    fn threshold_cfg(&self) -> ApproxConfig {
+        match self.mode {
+            ExecMode::Precise => ApproxConfig::default(),
+            ExecMode::Fixed(c) => c,
+            ExecMode::Dynamic(g) => ApproxConfig::fixed(g.minbits),
+            ExecMode::Simd4 => {
+                let mut c = ApproxConfig::default();
+                c.lanes = 4;
+                c
+            }
+            ExecMode::Incidental(s) => {
+                let mut c = ApproxConfig::default();
+                c.ac_en = true;
+                c.lanes = 2;
+                c.alu_bits = [8, s.minbits, s.minbits, s.minbits];
+                c
+            }
+        }
+    }
+
+    fn live_data_bits(&self) -> u8 {
+        let cfg = self.vm.approx();
+        cfg.effective_alu_bits(0)
+    }
+
+    fn backup_cost(&self) -> Energy {
+        let bits = self.live_data_bits().clamp(1, FULL_BITS) as usize;
+        let base = self.backup_cost_by_bits[bits];
+        if self.is_incidental() {
+            base * self.cfg.incidental_backup_factor
+        } else {
+            base
+        }
+    }
+
+    fn reserve(&self) -> Energy {
+        self.backup_cost() * self.cfg.reserve_safety
+    }
+
+    fn start_threshold(&self) -> Energy {
+        let tcfg = self.threshold_cfg();
+        let quantum = self.cfg.energy.representative_instr(&tcfg)
+            * (self.cfg.run_quantum_ticks * CYCLES_PER_TICK) as f64;
+        let raw = self.reserve() + self.cfg.energy.restore_energy() + quantum;
+        // A threshold above the capacitor would deadlock the system; clamp
+        // to what the hardware can actually bank (expensive configurations
+        // like 4-SIMD end up pinned near the top — the paper's "highest
+        // threshold" baseline).
+        raw.min(self.cfg.capacitor_capacity * 0.95)
+    }
+
+    fn approx_span(&self) -> (usize, usize) {
+        (self.spec.input.start as usize, self.spec.output.end as usize)
+    }
+
+    fn input_frame(&self, index: u64) -> &[i32] {
+        &self.frames[(index as usize) % self.frames.len()]
+    }
+
+    /// Loads `index` into memory version `version`.
+    ///
+    /// The frame arrives from the sensor buffer, which already sits in NVM
+    /// at full precision; only *stores* performed by the running program
+    /// are subject to memory-bit truncation.
+    fn load_frame(&mut self, index: u64, version: usize) {
+        let data = self.input_frame(index).to_vec();
+        let spec = &self.spec;
+        spec.load_input(self.vm.mem_mut(), version, &data);
+        spec.clear_output(self.vm.mem_mut(), version);
+    }
+
+    fn initial_start(&mut self) {
+        self.started = true;
+        self.live_loaded_at = self.outage_start;
+        match self.mode {
+            ExecMode::Simd4 => {
+                let mut c = ApproxConfig::default();
+                c.lanes = 4;
+                self.vm.set_approx(c);
+                for v in 0..4 {
+                    self.load_frame(self.next_input + v as u64, v);
+                    self.active_inputs.push(self.next_input + v as u64);
+                }
+                self.next_input += 4;
+            }
+            ExecMode::Fixed(c) => {
+                self.vm.set_approx(c);
+                self.load_frame(self.next_input, 0);
+                self.active_inputs.push(self.next_input);
+                self.next_input += 1;
+            }
+            _ => {
+                self.load_frame(self.next_input, 0);
+                self.active_inputs.push(self.next_input);
+                self.next_input += 1;
+                self.fill_backlog_lanes();
+            }
+        }
+        self.vm.set_pc(0);
+    }
+
+    /// Per-tick bitwidth control (the approximation control unit).
+    fn update_governor(&mut self, income_uw: f64) {
+        let fill = self.cap.fill();
+        match self.mode {
+            ExecMode::Dynamic(g) => {
+                let bits = g.bits_for(fill, income_uw);
+                let mut c = self.vm.approx();
+                c.ac_en = bits < FULL_BITS;
+                c.alu_bits[0] = bits;
+                c.mem_bits[0] = bits;
+                self.vm.set_approx(c);
+            }
+            ExecMode::Incidental(s) => {
+                let g = Governor::new(s.minbits, s.maxbits);
+                let bits = g.bits_for(fill, income_uw);
+                let mut c = self.vm.approx();
+                c.ac_en = true;
+                for l in 1..4 {
+                    c.alu_bits[l] = bits;
+                    c.mem_bits[l] = bits;
+                }
+                if s.dynamic_current {
+                    c.alu_bits[0] = bits;
+                    c.mem_bits[0] = bits;
+                } else {
+                    c.alu_bits[0] = FULL_BITS;
+                    c.mem_bits[0] = FULL_BITS;
+                }
+                self.vm.set_approx(c);
+            }
+            _ => {}
+        }
+    }
+
+    fn do_backup(&mut self, tick: u64) {
+        let cost = self.backup_cost();
+        self.cap.drain_up_to(cost);
+        self.report.energy_backup += cost;
+        self.report.backups += 1;
+        self.outage_start = tick;
+        self.phase = Phase::Off;
+    }
+
+    /// Parks every active lane (roll-forward decision at restore time).
+    fn park_all(&mut self) {
+        let lanes = self.vm.approx().lanes as usize;
+        let recompute = matches!(
+            self.mode,
+            ExecMode::Incidental(s) if s.recompute_parked
+        );
+        // Recompute-parked frames rejoin at the frame's resume marker
+        // (instruction 0); matched frames rejoin where they stopped.
+        let pc = if recompute { 0 } else { self.vm.pc() };
+        let loop_vars = self.vm.regfile().version_values(0);
+        // Active lanes 1..k already own their version planes.
+        for l in 1..lanes {
+            let entry = PendingFrame {
+                input_index: self.active_inputs[l],
+                pc,
+                regs: self.vm.regfile().version_values(l),
+                loop_vars,
+                version: l,
+                recompute,
+            };
+            if self.controller.park(entry).is_some() {
+                self.report.frames_abandoned += 1;
+            }
+        }
+        // Park the live lane into a free plane (evicting the oldest parked
+        // frame if necessary).
+        let version = match self.controller.free_version() {
+            Some(v) => v,
+            None => {
+                let ev = self
+                    .controller
+                    .evict_oldest()
+                    .expect("full controller has an oldest entry");
+                self.report.frames_abandoned += 1;
+                ev.version
+            }
+        };
+        let (a, b) = self.approx_span();
+        self.vm.mem_mut().copy_region_version(a, b, 0, version);
+        let entry = PendingFrame {
+            input_index: self.active_inputs[0],
+            pc,
+            regs: self.vm.regfile().version_values(0),
+            loop_vars,
+            version,
+            recompute,
+        };
+        if self.controller.park(entry).is_some() {
+            self.report.frames_abandoned += 1;
+        }
+        let mut c = self.vm.approx();
+        c.lanes = 1;
+        self.vm.set_approx(c);
+        self.active_inputs.clear();
+    }
+
+    /// Fills free SIMD lanes with buffered backlog frames (Section 2.1:
+    /// inputs are "buffered frame-by-frame, with no data dependencies
+    /// between them", and far more arrive than the NVP can process — the
+    /// incidental lanes work through that backlog at reduced precision).
+    fn fill_backlog_lanes(&mut self) {
+        if !self.is_incidental() {
+            return;
+        }
+        let max = (self.cfg.max_simd_lanes as usize).min(1 + PARK_SLOTS);
+        loop {
+            let lanes = self.vm.approx().lanes as usize;
+            if lanes >= max || lanes > PARK_SLOTS {
+                break;
+            }
+            let parked: Vec<usize> = self.controller.pending().map(|p| p.version).collect();
+            let target = lanes;
+            if parked.contains(&target) {
+                // Relocate the parked plane occupying our lane slot to a
+                // free higher version.
+                let Some(cand) = (lanes + 1..=PARK_SLOTS).find(|v| !parked.contains(v)) else {
+                    break; // every remaining plane is parked
+                };
+                let (a, b) = self.approx_span();
+                self.vm.mem_mut().swap_region_versions(a, b, target, cand);
+                self.vm.regfile_mut().swap_versions(target, cand);
+                self.controller.reassign_version(target, cand);
+            }
+            let idx = self.next_input;
+            self.next_input += 1;
+            self.load_frame(idx, target);
+            // The backlog lane shares the live lane's control flow from the
+            // frame start, so seed its registers from lane 0.
+            let live = self.vm.regfile().version_values(0);
+            self.vm.regfile_mut().set_version_values(target, live);
+            self.active_inputs.push(idx);
+            let mut c = self.vm.approx();
+            c.lanes = (lanes + 1) as u8;
+            self.vm.set_approx(c);
+        }
+    }
+
+    fn do_restore(&mut self, tick: u64) {
+        let cost = self.cfg.energy.restore_energy();
+        self.cap.drain_up_to(cost);
+        self.report.energy_restore += cost;
+        self.report.restores += 1;
+        if !self.started {
+            self.initial_start();
+            self.phase = Phase::Running;
+            return;
+        }
+        let outage = Ticks(tick.saturating_sub(self.outage_start));
+        self.apply_decay(outage);
+        if let ExecMode::Incidental(setup) = self.mode {
+            let age = tick.saturating_sub(self.live_loaded_at);
+            if Ticks(age) > setup.staleness {
+                // The live data's relevance has lapsed: park everything
+                // and roll forward to the newest buffered frame.
+                self.park_all();
+                self.load_frame(self.next_input, 0);
+                self.active_inputs = vec![self.next_input];
+                self.next_input += 1;
+                self.live_loaded_at = tick;
+                self.fill_backlog_lanes();
+                self.vm.set_pc(0);
+            }
+            // Otherwise resume in place (roll-back), active lanes intact.
+        }
+        self.phase = Phase::Running;
+    }
+
+    fn apply_decay(&mut self, outage: Ticks) {
+        let (a, b) = self.approx_span();
+        let versions: Vec<usize> = if self.is_incidental() {
+            // Parked planes and the still-active lanes both sit in NVM
+            // during the outage.
+            let mut v: Vec<usize> =
+                (0..self.vm.approx().lanes as usize).collect();
+            v.extend(self.controller.pending().map(|p| p.version));
+            v.sort_unstable();
+            v.dedup();
+            v
+        } else {
+            (0..self.vm.approx().lanes as usize).collect()
+        };
+        if versions.is_empty() {
+            return;
+        }
+        let fails = decay_region(
+            self.vm.mem_mut(),
+            a,
+            b,
+            &versions,
+            self.cfg.backup_policy,
+            outage,
+            &mut self.rng,
+        );
+        for (acc, f) in self.report.retention_failures.iter_mut().zip(fails) {
+            *acc += f;
+        }
+    }
+
+    /// Attempts incidental SIMD merges at the current PC.
+    fn try_merge(&mut self) {
+        let lanes = self.vm.approx().lanes as usize;
+        let max_lanes = (self.cfg.max_simd_lanes as usize).min(1 + PARK_SLOTS);
+        if lanes >= max_lanes || self.controller.is_empty() {
+            return;
+        }
+        let pc = self.vm.pc();
+        if !self.controller.has_pc(pc) {
+            return;
+        }
+        let live = self.vm.regfile().version_values(0);
+        let matches = self.controller.take_matches(pc, &live, max_lanes - lanes);
+        if matches.is_empty() {
+            return;
+        }
+        let mut lanes = lanes;
+        let (a, b) = self.approx_span();
+        for entry in matches {
+            let target = lanes; // next free lane == its version index
+            if entry.version != target {
+                self.vm
+                    .mem_mut()
+                    .swap_region_versions(a, b, entry.version, target);
+                self.vm.regfile_mut().swap_versions(entry.version, target);
+                self.controller.reassign_version(target, entry.version);
+            }
+            self.vm.regfile_mut().set_version_values(target, entry.regs);
+            self.active_inputs.push(entry.input_index);
+            lanes += 1;
+            self.report.merges += 1;
+        }
+        let mut c = self.vm.approx();
+        c.lanes = lanes as u8;
+        self.vm.set_approx(c);
+    }
+
+    /// Commits all active lanes at a `frame_done` marker and loads the next
+    /// frame(s).
+    fn commit_frames(&mut self, tick: u64) {
+        self.live_loaded_at = tick;
+        let lanes = self.vm.approx().lanes as usize;
+        for l in 0..lanes {
+            let input_index = self.active_inputs[l];
+            let (output, precision) = if self.cfg.record_outputs {
+                (
+                    self.spec.read_output(self.vm.mem(), l),
+                    self.spec.read_output_precision(self.vm.mem(), l),
+                )
+            } else {
+                (Vec::new(), Vec::new())
+            };
+            self.report.committed.push(CommittedFrame {
+                input_index,
+                lane: l as u8,
+                commit_tick: Ticks(tick),
+                output,
+                precision,
+            });
+            if l == 0 || matches!(self.mode, ExecMode::Simd4) {
+                self.report.frames_committed += 1;
+            } else {
+                self.report.incidental_frames += 1;
+            }
+        }
+        if let Some(limit) = self.cfg.frames_limit {
+            if self.report.frames_committed >= limit {
+                self.phase = Phase::Done;
+                return;
+            }
+        }
+        self.active_inputs.clear();
+        match self.mode {
+            ExecMode::Simd4 => {
+                for v in 0..4 {
+                    self.load_frame(self.next_input + v as u64, v);
+                    self.active_inputs.push(self.next_input + v as u64);
+                }
+                self.next_input += 4;
+            }
+            _ => {
+                let mut c = self.vm.approx();
+                c.lanes = 1;
+                self.vm.set_approx(c);
+                self.load_frame(self.next_input, 0);
+                self.active_inputs.push(self.next_input);
+                self.next_input += 1;
+                self.fill_backlog_lanes();
+            }
+        }
+        self.vm.set_pc(0);
+    }
+
+    fn run_tick(&mut self, tick: u64) {
+        self.report.on_ticks += 1;
+        let bits = self.live_data_bits().min(8) as usize;
+        self.report.bit_utilization[bits] += 1;
+        let mut cycles = 0u64;
+        while cycles < CYCLES_PER_TICK {
+            if self.is_incidental() {
+                self.try_merge();
+            }
+            let Some(instr) = self.spec.program.fetch(self.vm.pc()) else {
+                // Defensive: treat running off the end as frame completion.
+                self.commit_frames(tick);
+                continue;
+            };
+            let cfg = self.vm.approx();
+            let e = self.cfg.energy.instr_energy(instr.class(), &cfg);
+            if self.cap.level() < self.reserve() + e {
+                self.do_backup(tick);
+                return;
+            }
+            let drained = self.cap.try_drain(e);
+            debug_assert!(drained, "reserve check guarantees energy");
+            self.report.energy_compute += e;
+            let ev = self.vm.step().expect("kernel programs must not fault");
+            self.report.instructions_retired += 1;
+            self.report.forward_progress += cfg.lanes as u64;
+            cycles += ev.cycles().max(1);
+            match ev {
+                StepEvent::FrameDone => {
+                    self.commit_frames(tick);
+                    if self.phase == Phase::Done {
+                        return;
+                    }
+                }
+                StepEvent::Halted => {
+                    // Programs end with frame_done; halt only occurs when a
+                    // frame limit stopped commit processing. Treat as done.
+                    self.phase = Phase::Done;
+                    return;
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Runs the simulation over `profile` and returns the report.
+    pub fn run(mut self, profile: &PowerProfile) -> RunReport {
+        for (t, power) in profile.iter() {
+            if self.phase == Phase::Done {
+                break;
+            }
+            let income = self.cfg.rectifier.convert_tick(power);
+            let banked = self.cap.charge(income);
+            self.report.energy_income += banked;
+            self.cap.leak_tick();
+            self.report.total_ticks += 1;
+            self.update_governor(power.as_uw());
+            match self.phase {
+                Phase::Off => {
+                    self.report.bit_utilization[0] += 1;
+                    if self.cap.level() >= self.start_threshold() {
+                        self.do_restore(t.0);
+                        if self.phase == Phase::Running {
+                            self.run_tick(t.0);
+                            // restore consumed the tick's utilization slot
+                            self.report.bit_utilization[0] -= 1;
+                        }
+                    }
+                }
+                Phase::Running => self.run_tick(t.0),
+                Phase::Done => {}
+            }
+        }
+        self.report
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_kernels::KernelId;
+    use nvp_power::Power;
+
+    fn small_frames(id: KernelId, w: usize, h: usize, n: usize) -> Vec<Vec<i32>> {
+        (0..n).map(|i| id.make_input(w, h, 40 + i as u64)).collect()
+    }
+
+    fn steady(uw: f64, seconds: f64) -> PowerProfile {
+        PowerProfile::constant(Power::from_uw(uw), Ticks::from_seconds(seconds))
+    }
+
+    #[test]
+    fn steady_power_completes_frames_precisely() {
+        let id = KernelId::Sobel;
+        let spec = id.spec(8, 8);
+        let frames = small_frames(id, 8, 8, 2);
+        let golden0 = id.golden(&frames[0], 8, 8);
+        let sim = SystemSim::new(spec, frames, ExecMode::Precise, SystemConfig::default());
+        let rep = sim.run(&steady(500.0, 5.0));
+        assert!(rep.frames_committed >= 2, "committed {}", rep.frames_committed);
+        assert_eq!(rep.backups, 0, "steady power must not back up");
+        let first = &rep.outputs_for(0)[0];
+        assert_eq!(first.output, golden0);
+    }
+
+    #[test]
+    fn bursty_power_backs_up_and_still_completes() {
+        let id = KernelId::Median;
+        let spec = id.spec(16, 16);
+        let frames = small_frames(id, 16, 16, 1);
+        let golden = id.golden(&frames[0], 16, 16);
+        // Power alternates: 12 ticks on at 800 µW, 138 ticks dead — each
+        // charge cycle funds only a fraction of the ~40k-instruction frame.
+        let pattern: Vec<f64> = (0..100_000)
+            .map(|i| if i % 150 < 12 { 800.0 } else { 0.0 })
+            .collect();
+        let profile = PowerProfile::from_uw(pattern);
+        let mut cfg = SystemConfig::default();
+        cfg.frames_limit = Some(1);
+        let sim = SystemSim::new(spec, frames, ExecMode::Precise, cfg);
+        let rep = sim.run(&profile);
+        assert!(rep.backups > 0, "bursty power must cause emergencies");
+        assert_eq!(rep.restores, rep.backups + 1); // +1 cold start
+        assert_eq!(rep.frames_committed, 1);
+        // Roll-back recovery at full retention is exact.
+        assert_eq!(rep.outputs_for(0)[0].output, golden);
+    }
+
+    #[test]
+    fn lower_bits_give_more_forward_progress() {
+        let id = KernelId::Sobel;
+        let frames = small_frames(id, 8, 8, 1);
+        let profile = nvp_power::synth::WatchProfile::P1.synthesize_seconds(2.0);
+        let fp_at = |bits: u8| {
+            let mut cfg = SystemConfig::default();
+            cfg.record_outputs = false;
+            let sim = SystemSim::new(
+                id.spec(8, 8),
+                frames.clone(),
+                ExecMode::Fixed(ApproxConfig::fixed(bits)),
+                cfg,
+            );
+            sim.run(&profile).forward_progress
+        };
+        let fp8 = fp_at(8);
+        let fp1 = fp_at(1);
+        assert!(
+            fp1 as f64 > fp8 as f64 * 1.4,
+            "1-bit FP {fp1} should well exceed 8-bit FP {fp8}"
+        );
+    }
+
+    #[test]
+    fn incidental_rolls_forward_and_merges() {
+        let id = KernelId::Tiff2Bw;
+        let spec = id.spec(8, 8);
+        let frames = small_frames(id, 8, 8, 6);
+        // Enough power to run, with periodic dropouts to force roll-forward.
+        let pattern: Vec<f64> = (0..60_000)
+            .map(|i| if i % 120 < 45 { 700.0 } else { 0.0 })
+            .collect();
+        let profile = PowerProfile::from_uw(pattern);
+        let sim = SystemSim::new(
+            spec,
+            frames,
+            ExecMode::Incidental(IncidentalSetup::new(2, 8).with_staleness(Ticks(20))),
+            SystemConfig::default(),
+        );
+        let rep = sim.run(&profile);
+        assert!(rep.backups > 0);
+        assert!(rep.merges > 0, "expected at least one incidental merge");
+        assert!(
+            rep.incidental_frames > 0,
+            "expected incidental frame commits"
+        );
+    }
+
+    #[test]
+    fn retention_policy_records_failures() {
+        let id = KernelId::Median;
+        let spec = id.spec(8, 8);
+        let frames = small_frames(id, 8, 8, 1);
+        // Long outages (≥ 500 ticks) expire linear low bits.
+        let pattern: Vec<f64> = (0..50_000)
+            .map(|i| if i % 700 < 60 { 800.0 } else { 0.0 })
+            .collect();
+        let profile = PowerProfile::from_uw(pattern);
+        let mut cfg = SystemConfig::default();
+        cfg.backup_policy = RetentionPolicy::Linear;
+        let sim = SystemSim::new(spec, frames, ExecMode::Precise, cfg);
+        let rep = sim.run(&profile);
+        assert!(rep.total_retention_failures() > 0);
+        // Low bits fail more often than high bits under linear shaping.
+        assert!(rep.retention_failures[0] >= rep.retention_failures[7]);
+    }
+
+    #[test]
+    fn simd4_has_higher_threshold_and_less_on_time() {
+        let id = KernelId::Tiff2Bw;
+        let frames = small_frames(id, 8, 8, 8);
+        let profile = nvp_power::synth::WatchProfile::P2.synthesize_seconds(3.0);
+        let run = |mode| {
+            let mut cfg = SystemConfig::default();
+            cfg.record_outputs = false;
+            SystemSim::new(id.spec(8, 8), frames.clone(), mode, cfg).run(&profile)
+        };
+        let precise = run(ExecMode::Precise);
+        let simd4 = run(ExecMode::Simd4);
+        assert!(
+            simd4.system_on_fraction() < precise.system_on_fraction(),
+            "4-SIMD on-time {:.3} should be below precise {:.3}",
+            simd4.system_on_fraction(),
+            precise.system_on_fraction()
+        );
+    }
+
+    #[test]
+    fn dynamic_mode_tracks_bit_utilization() {
+        let id = KernelId::Sobel;
+        let frames = small_frames(id, 8, 8, 2);
+        let profile = nvp_power::synth::WatchProfile::P1.synthesize_seconds(2.0);
+        let mut cfg = SystemConfig::default();
+        cfg.record_outputs = false;
+        let sim = SystemSim::new(
+            id.spec(8, 8),
+            frames,
+            ExecMode::Dynamic(Governor::new(1, 8)),
+            cfg,
+        );
+        let rep = sim.run(&profile);
+        let running: u64 = rep.bit_utilization[1..].iter().sum();
+        assert_eq!(running, rep.on_ticks);
+        assert_eq!(rep.bit_utilization[0] + running, rep.total_ticks);
+        // The governor should have visited more than one width.
+        let distinct = rep.bit_utilization[1..].iter().filter(|&&c| c > 0).count();
+        assert!(distinct > 1, "utilization {:?}", rep.bit_utilization);
+    }
+
+    #[test]
+    fn frames_limit_stops_early() {
+        let id = KernelId::Tiff2Bw;
+        let frames = small_frames(id, 8, 8, 1);
+        let mut cfg = SystemConfig::default();
+        cfg.frames_limit = Some(3);
+        let sim = SystemSim::new(id.spec(8, 8), frames, ExecMode::Precise, cfg);
+        let rep = sim.run(&steady(800.0, 10.0));
+        assert_eq!(rep.frames_committed, 3);
+        assert!(rep.total_ticks < 100_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one input frame")]
+    fn empty_frames_panic() {
+        let id = KernelId::Sobel;
+        SystemSim::new(
+            id.spec(8, 8),
+            Vec::new(),
+            ExecMode::Precise,
+            SystemConfig::default(),
+        );
+    }
+}

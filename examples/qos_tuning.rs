@@ -1,0 +1,63 @@
+//! QoS-targeted tuning: the paper's Section 8.6 debug-test-modify loop.
+//!
+//! Given a quality target (PSNR floor), find the lowest `minbits` whose
+//! incidental execution still meets it, then show the resulting Table 2
+//! style policy beside the paper's published operating points.
+//!
+//! ```text
+//! cargo run --release --example qos_tuning
+//! ```
+
+use incidental::prelude::*;
+
+fn main() {
+    let profile = WatchProfile::P1.synthesize_seconds(3.0);
+
+    println!("paper's Table 2 policies:");
+    for p in table2() {
+        println!("  {p}");
+    }
+
+    println!("\ntuning median for a 30 dB floor on profile 1...");
+    let tuned = tune_for_qos(
+        KernelId::Median,
+        12,
+        12,
+        30.0,
+        RetentionPolicy::Linear,
+        &profile,
+    );
+    println!("  tuned: {tuned}");
+
+    // Validate the tuned point end to end.
+    let rep = IncidentalExecutor::builder(KernelId::Median, 12, 12)
+        .frames(3)
+        .pragmas(tuned.pragmas())
+        .build()
+        .run(&profile);
+    println!(
+        "  validation: mean PSNR {:.1} dB across {} committed frames, FP {}",
+        rep.quality.mean_psnr().min(99.9),
+        rep.quality.frames.len(),
+        rep.progress.forward_progress
+    );
+
+    // Show the tradeoff curve the programmer is navigating.
+    println!("\nminbits sweep (median, profile 1):");
+    println!("  minbits   PSNR (dB)   forward progress");
+    for minbits in [1u8, 2, 4, 6, 8] {
+        let mut policy = tuned.clone();
+        policy.minbits = minbits;
+        let rep = IncidentalExecutor::builder(KernelId::Median, 12, 12)
+            .frames(3)
+            .pragmas(policy.pragmas())
+            .build()
+            .run(&profile);
+        println!(
+            "  {:>7}   {:>9.1}   {:>16}",
+            minbits,
+            rep.quality.mean_psnr().min(99.9),
+            rep.progress.forward_progress
+        );
+    }
+}

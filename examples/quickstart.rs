@@ -1,0 +1,65 @@
+//! Quickstart: run a median-filter workload on an incidental NVP under a
+//! wrist-harvester power trace and compare it with a precise NVP.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use incidental::prelude::*;
+
+fn main() {
+    // 1. A harvested-power trace: profile 1 of the paper's Figure 2
+    //    ("watch in daily life"), 5 seconds at 0.1 ms resolution.
+    let profile = WatchProfile::P1.synthesize_seconds(5.0);
+    println!(
+        "power trace: {} samples, mean {:.1} µW",
+        profile.len(),
+        profile.mean().as_uw()
+    );
+
+    // 2. A conventional precise NVP baseline.
+    let precise = IncidentalExecutor::builder(KernelId::Median, 16, 16)
+        .frames(4)
+        .build();
+    let base = precise.run(&profile);
+
+    // 3. The incidental NVP, annotated exactly like the paper's Figure 8:
+    //    the frame buffer may run at 2–8 bits under a linear retention
+    //    policy, and recovery rolls forward to the newest frame.
+    let pragmas = PragmaSet::parse([
+        "#pragma ac incidental (src, 2, 8, linear);",
+        "#pragma ac incidental_recover_from (frame);",
+    ])
+    .expect("pragmas parse");
+    let incidental = IncidentalExecutor::builder(KernelId::Median, 16, 16)
+        .frames(4)
+        .pragmas(pragmas)
+        .build();
+    let inc = incidental.run(&profile);
+
+    println!("\n                      precise      incidental");
+    println!(
+        "forward progress   {:>10}    {:>10}   ({:.2}x)",
+        base.progress.forward_progress,
+        inc.progress.forward_progress,
+        inc.progress.forward_progress as f64 / base.progress.forward_progress.max(1) as f64
+    );
+    println!(
+        "frames committed   {:>10}    {:>10}",
+        base.progress.frames_committed,
+        inc.progress.frames_committed + inc.progress.incidental_frames
+    );
+    println!(
+        "backups            {:>10}    {:>10}",
+        base.progress.backups, inc.progress.backups
+    );
+    println!(
+        "mean output PSNR   {:>9.1}dB   {:>9.1}dB",
+        base.quality.mean_psnr().min(99.9),
+        inc.quality.mean_psnr().min(99.9)
+    );
+    println!(
+        "\nincidental lanes committed {} extra (reduced-precision) frames",
+        inc.progress.incidental_frames
+    );
+}

@@ -1,0 +1,234 @@
+//! Property-based tests over the core data structures and invariants,
+//! spanning crates.
+
+use nvp_isa::{alu_approximate, mem_truncate, ApproxConfig, Reg, RegFile};
+use nvp_kernels::quality::{mse, psnr};
+use nvp_kernels::KernelId;
+use nvp_nvm::backup::ApproximateBackupStore;
+use nvp_nvm::{MergeMode, RetentionPolicy, VersionedMemory};
+use nvp_power::outage::OutageStats;
+use nvp_power::synth::{SynthParams, TraceSynthesizer};
+use nvp_power::{Energy, Power, PowerProfile, Ticks};
+use proptest::prelude::*;
+
+proptest! {
+    /// Truncation is idempotent and never increases the 8-bit value.
+    #[test]
+    fn mem_truncate_idempotent(v in -100_000i32..100_000, bits in 1u8..=8) {
+        let once = mem_truncate(v, bits);
+        prop_assert_eq!(once, mem_truncate(once, bits));
+        prop_assert!(once <= v);
+        prop_assert!(v - once < 256);
+    }
+
+    /// The gradient-VDD ALU error is bounded by half the junk mask.
+    #[test]
+    fn alu_error_bounded(v in -100_000i32..100_000, bits in 1u8..=8, noise: u32) {
+        let out = alu_approximate(v, bits, noise);
+        let mask = ((1i64 << (8 - bits)) - 1) as i32;
+        prop_assert!((out - v).abs() <= mask / 2 + 1);
+    }
+
+    /// Retention times are monotone in bit significance for every policy.
+    #[test]
+    fn retention_monotone(b in 1u8..8) {
+        for p in RetentionPolicy::SHAPED {
+            prop_assert!(p.retention_ticks(b) <= p.retention_ticks(b + 1));
+        }
+    }
+
+    /// A backup/restore cycle never flips bits whose retention covers the
+    /// outage, for any policy and outage length.
+    #[test]
+    fn covered_bits_survive(
+        data in proptest::collection::vec(any::<u8>(), 1..64),
+        outage in 0u64..5000,
+        seed: u64,
+    ) {
+        for policy in RetentionPolicy::SHAPED {
+            let mut store = ApproximateBackupStore::new(policy, seed);
+            store.backup(&data);
+            let out = store.restore(Ticks(outage));
+            let mut safe_mask = 0u8;
+            for b in 1..=8u8 {
+                if policy.retention_ticks(b) >= Ticks(outage) {
+                    safe_mask |= 1 << (b - 1);
+                }
+            }
+            for (orig, got) in data.iter().zip(&out.data) {
+                prop_assert_eq!(orig & safe_mask, got & safe_mask);
+            }
+        }
+    }
+
+    /// Versioned-memory merges: `higherbits` never lowers the stored
+    /// precision tag, and sum/min/max keep the max precision.
+    #[test]
+    fn merge_precision_never_drops(
+        v0 in any::<i16>(), v1 in any::<i16>(),
+        p0 in 0u8..=8, p1 in 0u8..=8,
+        mode_idx in 0usize..4,
+    ) {
+        let mode = MergeMode::ALL[mode_idx];
+        let mut m = VersionedMemory::new(1);
+        m.write(0, 0, v0 as i32, p0);
+        m.write(0, 1, v1 as i32, p1);
+        m.merge_word(0, 1, 0, mode);
+        prop_assert!(m.precision(0, 0) >= p0.max(p1).min(8).min(p0.max(p1)));
+        prop_assert!(m.precision(0, 0) >= p0.max(p1) || mode == MergeMode::HigherBits);
+    }
+
+    /// The trace synthesizer respects its clamp and produces only valid
+    /// samples, for arbitrary plausible parameters.
+    #[test]
+    fn synthesizer_respects_clamp(
+        burst in 1.0f64..100.0,
+        idle in 1.0f64..500.0,
+        amp in 10.0f64..500.0,
+        seed: u64,
+    ) {
+        let params = SynthParams {
+            mean_burst_ticks: burst,
+            mean_idle_ticks: idle,
+            long_idle_prob: 0.01,
+            mean_long_idle_ticks: 1000.0,
+            burst_amplitude_uw: amp,
+            burst_amplitude_sigma: 0.8,
+            peak_clamp_uw: 2000.0,
+            idle_power_uw: 5.0,
+            intra_burst_jitter: 0.4,
+        };
+        let p = TraceSynthesizer::new(params, seed).synthesize(Ticks(2000));
+        prop_assert!(p.peak() <= Power::from_uw(2000.0));
+        prop_assert!(p.as_uw_slice().iter().all(|&s| s.is_finite() && s >= 0.0));
+    }
+
+    /// Outage extraction partitions the trace: dark fraction equals the
+    /// sum of outage durations over the length.
+    #[test]
+    fn outages_partition_trace(samples in proptest::collection::vec(0.0f64..100.0, 1..500)) {
+        let p = PowerProfile::from_uw(samples.iter().copied());
+        let stats = OutageStats::extract(&p, Power::from_uw(33.0));
+        let dark: u64 = stats.outages().iter().map(|o| o.duration.0).sum();
+        let below = samples.iter().filter(|&&s| s < 33.0).count() as u64;
+        prop_assert_eq!(dark, below);
+    }
+
+    /// PSNR and MSE are consistent: lower MSE implies higher (or equal)
+    /// PSNR.
+    #[test]
+    fn psnr_mse_consistent(
+        a in proptest::collection::vec(0i32..=255, 8..64),
+        delta in 1i32..100,
+    ) {
+        let near: Vec<i32> = a.iter().map(|&v| (v + 1).min(255)).collect();
+        let far: Vec<i32> = a.iter().map(|&v| (v + delta).min(255)).collect();
+        let (m_near, m_far) = (mse(&a, &near), mse(&a, &far));
+        if m_near < m_far {
+            prop_assert!(psnr(&a, &near) > psnr(&a, &far));
+        }
+    }
+
+    /// Energy bookkeeping: power × time round-trips through the unit types.
+    #[test]
+    fn units_roundtrip(uw in 0.0f64..5000.0, ticks in 1u64..100_000) {
+        let e = Power::from_uw(uw) * Ticks(ticks);
+        let back = e.over(Ticks(ticks));
+        prop_assert!((back.as_uw() - uw).abs() < 1e-6 * uw.max(1.0));
+        prop_assert!(e >= Energy::ZERO);
+    }
+
+    /// Register-file version planes are fully independent.
+    #[test]
+    fn regfile_versions_independent(
+        r in 0u8..16, v in 0usize..4, val: i32, other: i32,
+    ) {
+        let mut rf = RegFile::new();
+        rf.write(Reg(r), v, val);
+        let ov = (v + 1) % 4;
+        rf.write(Reg(r), ov, other);
+        prop_assert_eq!(rf.read(Reg(r), v), val);
+        prop_assert_eq!(rf.read(Reg(r), ov), other);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The NVP checkpointing contract: execution interrupted at arbitrary
+    /// instruction boundaries — with architectural snapshot/restore at
+    /// every cut — produces bit-identical output to uninterrupted
+    /// execution. This is the property that makes per-instruction
+    /// persistent forward progress meaningful.
+    #[test]
+    fn interrupted_execution_equals_uninterrupted(
+        seed: u64,
+        cuts in proptest::collection::vec(1u64..400, 1..12),
+    ) {
+        use nvp_isa::Vm;
+        let id = KernelId::Median;
+        let spec = id.spec(8, 8);
+        let input = id.make_input(8, 8, seed);
+
+        // Reference: run straight through.
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        *vm.mem_mut() = spec.build_memory();
+        spec.load_input(vm.mem_mut(), 0, &input);
+        vm.run_to_halt(10_000_000).unwrap();
+        let reference = spec.read_output(vm.mem(), 0);
+
+        // Chopped: snapshot/restore at every cut point. Data memory is
+        // NVM and persists; architectural state goes through the
+        // snapshot path.
+        let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+        *vm.mem_mut() = spec.build_memory();
+        spec.load_input(vm.mem_mut(), 0, &input);
+        for chunk in cuts {
+            for _ in 0..chunk {
+                if vm.halted() {
+                    break;
+                }
+                vm.step().unwrap();
+            }
+            let snap = vm.snapshot();
+            // Power failure: architectural state is lost and rebuilt
+            // from the snapshot (memory persists inside the same VM).
+            vm.restore(&snap);
+        }
+        vm.run_to_halt(10_000_000).unwrap();
+        prop_assert_eq!(spec.read_output(vm.mem(), 0), reference);
+    }
+
+    /// Kernel goldens are deterministic and full-precision VM runs match
+    /// them for arbitrary seeds (the heavyweight cross-crate property).
+    #[test]
+    fn vm_equals_golden_for_random_inputs(seed: u64) {
+        let id = KernelId::Sobel;
+        let input = id.make_input(10, 10, seed);
+        let spec = id.spec(10, 10);
+        let out = nvp_sim::run_fixed(&spec, &input, ApproxConfig::default(), seed);
+        prop_assert_eq!(out, id.golden(&input, 10, 10));
+    }
+
+    /// Retention decay is seed-deterministic through the whole system sim.
+    #[test]
+    fn system_runs_deterministic_for_any_seed(seed: u64) {
+        use nvp_sim::{ExecMode, SystemConfig, SystemSim};
+        let id = KernelId::Tiff2Bw;
+        let profile = nvp_power::synth::WatchProfile::P5.synthesize_seconds(0.5);
+        let run = || {
+            let mut cfg = SystemConfig::default();
+            cfg.seed = seed;
+            cfg.backup_policy = RetentionPolicy::Linear;
+            cfg.record_outputs = false;
+            SystemSim::new(
+                id.spec(8, 8),
+                vec![id.make_input(8, 8, seed)],
+                ExecMode::Precise,
+                cfg,
+            )
+            .run(&profile)
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
