@@ -1,0 +1,72 @@
+//! `nvp-lint`: run every static-analysis pass over every kernel generator.
+//!
+//! Exits non-zero if any kernel produces a diagnostic at warning severity
+//! or above. Pass `-v`/`--verbose` to also print informational
+//! diagnostics (backup live-set summaries).
+
+use nvp_analysis::{analyze_program, AnalysisConfig, Severity};
+use nvp_kernels::KernelId;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut verbose = false;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "-v" | "--verbose" => verbose = true,
+            "-h" | "--help" => {
+                println!("usage: nvp-lint [-v|--verbose]");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("nvp-lint: unknown argument `{other}`");
+                eprintln!("usage: nvp-lint [-v|--verbose]");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let mut total_violations = 0usize;
+    let mut total_diags = 0usize;
+    for id in KernelId::ALL {
+        let (w, h) = id.min_dims();
+        let spec = id.spec(w, h);
+        let config = AnalysisConfig {
+            sanitized_regs: id.sanitized_regs(),
+        };
+        let report = analyze_program(&spec.program, &config);
+        let violations = report.count_at_least(Severity::Warning);
+        total_violations += violations;
+        total_diags += report.diagnostics.len();
+
+        let shown: Vec<_> = report
+            .diagnostics
+            .iter()
+            .filter(|d| verbose || d.severity() >= Severity::Warning)
+            .collect();
+        let status = if violations == 0 { "ok" } else { "FAIL" };
+        println!(
+            "{:<16} {}x{:<3} {:>4} instrs  {status}",
+            id.name(),
+            w,
+            h,
+            spec.program.len()
+        );
+        for d in shown {
+            for line in d.to_string().lines() {
+                println!("    {line}");
+            }
+        }
+    }
+
+    println!(
+        "\n{} kernels checked, {} diagnostics, {} violations",
+        KernelId::ALL.len(),
+        total_diags,
+        total_violations
+    );
+    if total_violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

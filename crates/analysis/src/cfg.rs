@@ -1,0 +1,305 @@
+//! Basic-block discovery and control-flow graph construction.
+//!
+//! The CFG is built at two granularities: per-instruction successor /
+//! predecessor edges (what the dataflow engine iterates over — programs
+//! are a few hundred instructions, so per-pc fixpoints are cheap and keep
+//! the transfer functions trivial) and maximal basic blocks (for
+//! structural queries and reverse-post-order scheduling).
+
+use nvp_isa::{Instr, Program};
+
+/// A maximal straight-line run of instructions.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// First instruction index (the leader).
+    pub start: usize,
+    /// One past the last instruction index.
+    pub end: usize,
+    /// Successor block ids.
+    pub succs: Vec<usize>,
+    /// Predecessor block ids.
+    pub preds: Vec<usize>,
+}
+
+impl BasicBlock {
+    /// Instruction indices of this block.
+    pub fn pcs(&self) -> std::ops::Range<usize> {
+        self.start..self.end
+    }
+}
+
+/// The control-flow graph of a [`Program`].
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    len: usize,
+    blocks: Vec<BasicBlock>,
+    block_of: Vec<usize>,
+    succs: Vec<Vec<usize>>,
+    preds: Vec<Vec<usize>>,
+}
+
+/// Successor pcs of the instruction at `pc` (pure control-flow semantics:
+/// `halt` has none, branches have target + fallthrough, everything else
+/// falls through).
+pub fn instr_succs(program: &Program, pc: usize) -> Vec<usize> {
+    let len = program.len();
+    let fall = |v: &mut Vec<usize>| {
+        if pc + 1 < len {
+            v.push(pc + 1);
+        }
+    };
+    let mut out = Vec::with_capacity(2);
+    match program.fetch(pc) {
+        None | Some(Instr::Halt) => {}
+        Some(Instr::Jmp(t)) => out.push(t as usize),
+        Some(
+            Instr::Brz(_, t) | Instr::Brnz(_, t) | Instr::Brlt(_, _, t) | Instr::Brge(_, _, t),
+        ) => {
+            out.push(t as usize);
+            fall(&mut out);
+        }
+        Some(_) => fall(&mut out),
+    }
+    out.sort_unstable();
+    out.dedup();
+    out
+}
+
+impl Cfg {
+    /// Builds the CFG of `program`.
+    pub fn build(program: &Program) -> Cfg {
+        let len = program.len();
+        let succs: Vec<Vec<usize>> = (0..len).map(|pc| instr_succs(program, pc)).collect();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); len];
+        for (pc, ss) in succs.iter().enumerate() {
+            for &s in ss {
+                preds[s].push(pc);
+            }
+        }
+
+        // Leaders: entry, branch targets, fallthroughs of control transfers.
+        let mut leader = vec![false; len];
+        if len > 0 {
+            leader[0] = true;
+        }
+        for (pc, i) in program.iter() {
+            match i {
+                Instr::Jmp(t) => {
+                    leader[t as usize] = true;
+                    if pc + 1 < len {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Brz(_, t)
+                | Instr::Brnz(_, t)
+                | Instr::Brlt(_, _, t)
+                | Instr::Brge(_, _, t) => {
+                    leader[t as usize] = true;
+                    if pc + 1 < len {
+                        leader[pc + 1] = true;
+                    }
+                }
+                Instr::Halt if pc + 1 < len => {
+                    leader[pc + 1] = true;
+                }
+                _ => {}
+            }
+        }
+
+        let mut blocks = Vec::new();
+        let mut block_of = vec![0usize; len];
+        let mut start = 0usize;
+        for (pc, &lead) in leader.iter().enumerate() {
+            if pc > start && lead {
+                blocks.push(BasicBlock {
+                    start,
+                    end: pc,
+                    succs: Vec::new(),
+                    preds: Vec::new(),
+                });
+                start = pc;
+            }
+        }
+        if len > 0 {
+            blocks.push(BasicBlock {
+                start,
+                end: len,
+                succs: Vec::new(),
+                preds: Vec::new(),
+            });
+        }
+        for (id, b) in blocks.iter().enumerate() {
+            for pc in b.pcs() {
+                block_of[pc] = id;
+            }
+        }
+        // Block edges from the terminator's instruction edges.
+        let edges: Vec<(usize, usize)> = blocks
+            .iter()
+            .enumerate()
+            .flat_map(|(id, b)| {
+                succs[b.end - 1]
+                    .iter()
+                    .map(|&s| (id, block_of[s]))
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        for (from, to) in edges {
+            if !blocks[from].succs.contains(&to) {
+                blocks[from].succs.push(to);
+            }
+            if !blocks[to].preds.contains(&from) {
+                blocks[to].preds.push(from);
+            }
+        }
+
+        Cfg {
+            len,
+            blocks,
+            block_of,
+            succs,
+            preds,
+        }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True for an empty program.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The basic blocks, in program order.
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// Block id containing `pc`.
+    pub fn block_of(&self, pc: usize) -> usize {
+        self.block_of[pc]
+    }
+
+    /// Successor pcs of `pc`.
+    pub fn succs(&self, pc: usize) -> &[usize] {
+        &self.succs[pc]
+    }
+
+    /// Predecessor pcs of `pc`.
+    pub fn preds(&self, pc: usize) -> &[usize] {
+        &self.preds[pc]
+    }
+
+    /// Pcs reachable from `entry` (inclusive), stopping traversal *at*
+    /// (not including successors of) any pc for which `stop` returns true.
+    pub fn reachable_until(&self, entry: usize, stop: impl Fn(usize) -> bool) -> Vec<usize> {
+        let mut seen = vec![false; self.len];
+        let mut stack = vec![entry];
+        while let Some(pc) = stack.pop() {
+            if pc >= self.len || seen[pc] {
+                continue;
+            }
+            seen[pc] = true;
+            if stop(pc) {
+                continue;
+            }
+            stack.extend_from_slice(&self.succs[pc]);
+        }
+        seen.iter()
+            .enumerate()
+            .filter_map(|(pc, &s)| s.then_some(pc))
+            .collect()
+    }
+
+    /// Block ids in reverse post-order from the entry block.
+    pub fn rpo(&self) -> Vec<usize> {
+        if self.blocks.is_empty() {
+            return Vec::new();
+        }
+        let mut visited = vec![false; self.blocks.len()];
+        let mut post = Vec::with_capacity(self.blocks.len());
+        // Iterative DFS with an explicit phase marker.
+        let mut stack = vec![(0usize, false)];
+        while let Some((b, expanded)) = stack.pop() {
+            if expanded {
+                post.push(b);
+                continue;
+            }
+            if visited[b] {
+                continue;
+            }
+            visited[b] = true;
+            stack.push((b, true));
+            for &s in &self.blocks[b].succs {
+                if !visited[s] {
+                    stack.push((s, false));
+                }
+            }
+        }
+        post.reverse();
+        post
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_isa::{ProgramBuilder, Reg};
+
+    fn loop_program() -> Program {
+        // 0: ldi r0,0   1: ldi r1,3
+        // 2: addi r0,r0,1   3: brlt r0,r1,@2
+        // 4: halt
+        let mut b = ProgramBuilder::new();
+        b.ldi(Reg(0), 0).ldi(Reg(1), 3);
+        let top = b.label();
+        b.place(top);
+        b.addi(Reg(0), Reg(0), 1);
+        b.brlt(Reg(0), Reg(1), top);
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn blocks_split_at_branch_targets() {
+        let p = loop_program();
+        let cfg = Cfg::build(&p);
+        let starts: Vec<usize> = cfg.blocks().iter().map(|b| b.start).collect();
+        assert_eq!(starts, vec![0, 2, 4]);
+        assert_eq!(cfg.block_of(3), 1);
+        // Loop block succeeds to itself and to the exit.
+        assert_eq!(cfg.blocks()[1].succs.len(), 2);
+        assert!(cfg.blocks()[1].succs.contains(&1));
+    }
+
+    #[test]
+    fn instr_edges_cover_branch_and_fallthrough() {
+        let p = loop_program();
+        let cfg = Cfg::build(&p);
+        assert_eq!(cfg.succs(3), &[2, 4]);
+        assert_eq!(cfg.succs(4), &[] as &[usize]);
+        assert_eq!(cfg.preds(2), &[1, 3]);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let p = loop_program();
+        let cfg = Cfg::build(&p);
+        let rpo = cfg.rpo();
+        assert_eq!(rpo[0], 0);
+        assert_eq!(rpo.len(), 3);
+    }
+
+    #[test]
+    fn reachable_until_stops_at_marker() {
+        let mut b = ProgramBuilder::new();
+        b.mark_resume(0).ldi(Reg(0), 1).frame_done().halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let r = cfg.reachable_until(1, |pc| matches!(p.fetch(pc), Some(Instr::FrameDone)));
+        // frame_done itself is reached but not crossed; halt is excluded.
+        assert_eq!(r, vec![1, 2]);
+    }
+}

@@ -1,0 +1,235 @@
+//! A generic worklist fixpoint engine over per-instruction program points.
+//!
+//! Replaces the seed's linear single-pass taint scan, which was unsound
+//! across loop back-edges: facts established late in a loop body never
+//! reached earlier instructions. The engine iterates transfer functions to
+//! a fixpoint over the CFG, propagating along back-edges until states
+//! stabilize.
+//!
+//! States are joined optimistically: an unvisited predecessor contributes
+//! nothing (it is ⊤ for must-analyses and ⊥ for may-analyses), which lets
+//! one engine serve both kinds — the analysis' [`Analysis::join`] decides
+//! whether facts union (may) or intersect (must).
+
+use crate::cfg::Cfg;
+use nvp_isa::{Instr, Program};
+
+/// Direction of propagation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Direction {
+    /// States flow from predecessors to successors.
+    Forward,
+    /// States flow from successors to predecessors.
+    Backward,
+}
+
+/// A dataflow analysis at per-instruction granularity.
+pub trait Analysis {
+    /// The lattice element tracked at each program point.
+    type State: Clone + PartialEq;
+
+    /// Which way facts propagate.
+    fn direction(&self) -> Direction;
+
+    /// State at the boundary: the entry point (forward) or every exit
+    /// point (backward).
+    fn boundary(&self) -> Self::State;
+
+    /// Effect of executing `instr` at `pc` on `state`.
+    fn transfer(&self, pc: usize, instr: Instr, state: &Self::State) -> Self::State;
+
+    /// Merges `other` into `into` at a control-flow join.
+    fn join(&self, into: &mut Self::State, other: &Self::State);
+}
+
+/// Fixpoint solution: the state before and after every instruction.
+///
+/// `None` means the pc was unreachable from the analysis entries (no facts
+/// are derived there, and passes emit no diagnostics for dead code).
+#[derive(Debug, Clone)]
+pub struct Solution<S> {
+    /// State immediately before each pc executes.
+    pub before: Vec<Option<S>>,
+    /// State immediately after each pc executes.
+    pub after: Vec<Option<S>>,
+}
+
+impl<S> Solution<S> {
+    /// The before-state at `pc`, if reachable.
+    pub fn before_at(&self, pc: usize) -> Option<&S> {
+        self.before.get(pc).and_then(|s| s.as_ref())
+    }
+
+    /// The after-state at `pc`, if reachable.
+    pub fn after_at(&self, pc: usize) -> Option<&S> {
+        self.after.get(pc).and_then(|s| s.as_ref())
+    }
+}
+
+/// Runs `analysis` to fixpoint over the whole program.
+///
+/// Forward analyses start from pc 0; backward analyses treat every pc
+/// without successors as a boundary exit.
+pub fn solve<A: Analysis>(program: &Program, cfg: &Cfg, analysis: &A) -> Solution<A::State> {
+    let entries: Vec<usize> = match analysis.direction() {
+        Direction::Forward => {
+            if program.is_empty() {
+                Vec::new()
+            } else {
+                vec![0]
+            }
+        }
+        Direction::Backward => (0..program.len())
+            .filter(|&pc| cfg.succs(pc).is_empty())
+            .collect(),
+    };
+    solve_region(program, cfg, analysis, &entries, None)
+}
+
+/// Runs `analysis` to fixpoint restricted to `region` (a set of pcs;
+/// `None` = the whole program). Edges leaving the region are ignored;
+/// `entries` are the region's boundary points (sources for forward,
+/// sinks for backward).
+pub fn solve_region<A: Analysis>(
+    program: &Program,
+    cfg: &Cfg,
+    analysis: &A,
+    entries: &[usize],
+    region: Option<&[usize]>,
+) -> Solution<A::State> {
+    let len = program.len();
+    let mut in_region = vec![region.is_none(); len];
+    if let Some(r) = region {
+        for &pc in r {
+            in_region[pc] = true;
+        }
+    }
+    let forward = analysis.direction() == Direction::Forward;
+
+    let mut before: Vec<Option<A::State>> = vec![None; len];
+    let mut after: Vec<Option<A::State>> = vec![None; len];
+    let is_entry = {
+        let mut v = vec![false; len];
+        for &e in entries {
+            v[e] = true;
+        }
+        v
+    };
+
+    let mut worklist: Vec<usize> = entries.to_vec();
+    let mut queued = vec![false; len];
+    for &e in entries {
+        queued[e] = true;
+    }
+
+    while let Some(pc) = worklist.pop() {
+        queued[pc] = false;
+        if !in_region[pc] {
+            continue;
+        }
+        // Join incoming states (preds for forward, succs for backward),
+        // plus the boundary at entries.
+        let sources: &[usize] = if forward {
+            cfg.preds(pc)
+        } else {
+            cfg.succs(pc)
+        };
+        let mut incoming: Option<A::State> = is_entry[pc].then(|| analysis.boundary());
+        for &s in sources {
+            if !in_region[s] {
+                continue;
+            }
+            let src_state = if forward { &after[s] } else { &before[s] };
+            if let Some(st) = src_state {
+                match &mut incoming {
+                    Some(acc) => analysis.join(acc, st),
+                    None => incoming = Some(st.clone()),
+                }
+            }
+        }
+        let Some(incoming) = incoming else {
+            continue; // nothing known yet; a source will requeue us
+        };
+        let instr = program.fetch(pc).expect("pc in range");
+        let outgoing = analysis.transfer(pc, instr, &incoming);
+        let (at_in, at_out) = if forward {
+            (&mut before[pc], &mut after[pc])
+        } else {
+            (&mut after[pc], &mut before[pc])
+        };
+        let changed = at_out.as_ref() != Some(&outgoing);
+        *at_in = Some(incoming);
+        if changed {
+            *at_out = Some(outgoing);
+            let next: &[usize] = if forward {
+                cfg.succs(pc)
+            } else {
+                cfg.preds(pc)
+            };
+            for &n in next {
+                if in_region[n] && !queued[n] {
+                    queued[n] = true;
+                    worklist.push(n);
+                }
+            }
+        }
+    }
+
+    Solution { before, after }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_isa::{ProgramBuilder, Reg};
+
+    /// A trivial forward may-analysis: the set of pcs executed so far,
+    /// as a bitmask over the first 64 pcs.
+    struct Trace;
+    impl Analysis for Trace {
+        type State = u64;
+        fn direction(&self) -> Direction {
+            Direction::Forward
+        }
+        fn boundary(&self) -> u64 {
+            0
+        }
+        fn transfer(&self, pc: usize, _i: Instr, s: &u64) -> u64 {
+            s | (1 << pc)
+        }
+        fn join(&self, into: &mut u64, other: &u64) {
+            *into |= other;
+        }
+    }
+
+    #[test]
+    fn forward_fixpoint_propagates_around_back_edge() {
+        // 0: ldi  1: addi  2: brlt->1  3: halt
+        let mut b = ProgramBuilder::new();
+        b.ldi(Reg(0), 0);
+        let top = b.label();
+        b.place(top);
+        b.addi(Reg(0), Reg(0), 1);
+        b.brlt(Reg(0), Reg(0), top);
+        b.halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let sol = solve(&p, &cfg, &Trace);
+        // At the loop head, the back-edge contributes pcs 1 and 2.
+        assert_eq!(*sol.before_at(1).unwrap(), 0b0111);
+        assert_eq!(*sol.before_at(3).unwrap(), 0b0111);
+    }
+
+    #[test]
+    fn region_restriction_ignores_outside_edges() {
+        let mut b = ProgramBuilder::new();
+        b.ldi(Reg(0), 0).ldi(Reg(1), 1).ldi(Reg(2), 2).halt();
+        let p = b.build().unwrap();
+        let cfg = Cfg::build(&p);
+        let region = vec![1, 2];
+        let sol = solve_region(&p, &cfg, &Trace, &[1], Some(&region));
+        assert!(sol.before_at(0).is_none());
+        assert_eq!(*sol.after_at(2).unwrap(), 0b0110);
+        assert!(sol.before_at(3).is_none());
+    }
+}

@@ -1,0 +1,188 @@
+//! Diagnostics: stable lint codes, severities, and rendering with
+//! disassembly context.
+//!
+//! Every finding a pass emits is a [`Diagnostic`] carrying a stable
+//! [`LintCode`] (so CI filters and suppression lists survive message-text
+//! changes), the offending pc, and an optional disassembly snippet around
+//! the instruction.
+
+use nvp_isa::Program;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How serious a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Severity {
+    /// Informational: analysis facts (e.g. backup live-set sizes).
+    Info,
+    /// Likely defect: the program may silently corrupt results.
+    Warning,
+    /// Definite contract violation: the program is unsafe to approximate.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Info => f.write_str("info"),
+            Severity::Warning => f.write_str("warning"),
+            Severity::Error => f.write_str("error"),
+        }
+    }
+}
+
+/// Stable lint codes, one per distinct finding class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum LintCode {
+    /// `NVP-E001`: a branch condition reads an approximate register.
+    BranchOnApprox,
+    /// `NVP-E002`: an effective address is computed from an approximate
+    /// register.
+    AddressFromApprox,
+    /// `NVP-E003`: an approximate value is stored outside the declared
+    /// approximable region.
+    StoreOutsideRegion,
+    /// `NVP-W001`: a non-idempotent write inside a roll-forward region
+    /// (write-after-read of the same NV location).
+    WarHazard,
+    /// `NVP-W002`: a register in the resume loop-variable mask is never
+    /// read — its backed-up value can never influence resume matching.
+    DeadResumeReg,
+    /// `NVP-I001`: backup live-set report at a resume point.
+    BackupLiveSet,
+}
+
+impl LintCode {
+    /// The stable code string (`NVP-E001`, …).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            LintCode::BranchOnApprox => "NVP-E001",
+            LintCode::AddressFromApprox => "NVP-E002",
+            LintCode::StoreOutsideRegion => "NVP-E003",
+            LintCode::WarHazard => "NVP-W001",
+            LintCode::DeadResumeReg => "NVP-W002",
+            LintCode::BackupLiveSet => "NVP-I001",
+        }
+    }
+
+    /// The severity this code always carries.
+    pub fn severity(self) -> Severity {
+        match self {
+            LintCode::BranchOnApprox
+            | LintCode::AddressFromApprox
+            | LintCode::StoreOutsideRegion => Severity::Error,
+            LintCode::WarHazard | LintCode::DeadResumeReg => Severity::Warning,
+            LintCode::BackupLiveSet => Severity::Info,
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One finding from one pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Diagnostic {
+    /// The stable lint code.
+    pub code: LintCode,
+    /// Offending instruction index, if the finding is anchored to one.
+    pub pc: Option<usize>,
+    /// Human-readable description.
+    pub message: String,
+    /// Disassembly context lines (built by [`Diagnostic::with_context`]).
+    pub context: Vec<String>,
+}
+
+impl Diagnostic {
+    /// Creates a diagnostic anchored at `pc`.
+    pub fn at(code: LintCode, pc: usize, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            pc: Some(pc),
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// Creates a program-level diagnostic (no single pc).
+    pub fn program_level(code: LintCode, message: impl Into<String>) -> Self {
+        Diagnostic {
+            code,
+            pc: None,
+            message: message.into(),
+            context: Vec::new(),
+        }
+    }
+
+    /// The severity of this diagnostic (derived from its code).
+    pub fn severity(&self) -> Severity {
+        self.code.severity()
+    }
+
+    /// Attaches ±1 instructions of disassembly around the anchor pc,
+    /// marking the offending line with `>`.
+    pub fn with_context(mut self, program: &Program) -> Self {
+        if let Some(pc) = self.pc {
+            let lo = pc.saturating_sub(1);
+            let hi = (pc + 2).min(program.len());
+            for at in lo..hi {
+                if let Some(i) = program.fetch(at) {
+                    let marker = if at == pc { '>' } else { ' ' };
+                    self.context.push(format!("{marker} {at:4} | {i}"));
+                }
+            }
+        }
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}]: {}", self.severity(), self.code, self.message)?;
+        if let Some(pc) = self.pc {
+            write!(f, " (pc {pc})")?;
+        }
+        for line in &self.context {
+            write!(f, "\n    {line}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_isa::{ProgramBuilder, Reg};
+
+    #[test]
+    fn codes_are_stable_and_severities_fixed() {
+        assert_eq!(LintCode::BranchOnApprox.as_str(), "NVP-E001");
+        assert_eq!(LintCode::WarHazard.as_str(), "NVP-W001");
+        assert_eq!(LintCode::BackupLiveSet.severity(), Severity::Info);
+        assert!(Severity::Error > Severity::Warning);
+        assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn display_includes_code_pc_and_context() {
+        let mut b = ProgramBuilder::new();
+        b.ldi(Reg(0), 1).st(5, Reg(0)).halt();
+        let p = b.build().unwrap();
+        let d = Diagnostic::at(LintCode::WarHazard, 1, "write-after-read of [5]").with_context(&p);
+        let s = d.to_string();
+        assert!(s.contains("NVP-W001"), "{s}");
+        assert!(s.contains("(pc 1)"), "{s}");
+        assert!(s.contains(">    1 | st"), "{s}");
+        assert!(s.contains("     0 | ldi"), "{s}");
+    }
+
+    #[test]
+    fn program_level_has_no_pc() {
+        let d = Diagnostic::program_level(LintCode::DeadResumeReg, "r9 never read");
+        assert!(d.pc.is_none());
+        assert!(!d.to_string().contains("pc"));
+    }
+}

@@ -1,0 +1,363 @@
+//! Write-after-read (idempotency) hazard analysis for roll-forward
+//! regions.
+//!
+//! Roll-forward recovery (paper Section 4) re-executes code from the last
+//! `mark_resume` with registers restored from the resume snapshot but
+//! **memory as the first execution left it** (the data array *is* the
+//! NVM). Re-execution is only sound if the region is idempotent over
+//! memory: once a location has been read, writing it changes what a
+//! re-execution would read — after an outage the recomputed result
+//! silently diverges. Registers are exempt: they are restored from the
+//! snapshot, so register WAR cannot corrupt a re-execution.
+//!
+//! The pass runs a forward fixpoint over each roll-forward region (the
+//! pcs reachable from a `mark_resume` without crossing another marker,
+//! `frame_done`, or `halt`) tracking:
+//!
+//! * **may-exposed reads** — locations read while not must-written, i.e.
+//!   reads that observe pre-region memory on some path;
+//! * **must-written locations** — written on *every* path from the region
+//!   entry (reads of those observe region-internal values and are safe);
+//! * a **must-covered** bit — set once every path has performed an
+//!   indirect write; after a covering write loop (e.g. FFT's copy stage
+//!   rewriting the whole output before the in-place butterflies), later
+//!   indirect reads observe region-internal data and are not exposed.
+//!
+//! A write to a may-exposed location raises `NVP-W001`. Locations are
+//! named like the taint pass: absolute addresses exactly, indirect
+//! accesses as `(base, unique reaching def, offset)` symbols; symbol
+//! matching is exact (aliasing between distinct symbols or between
+//! symbolic and absolute accesses is not modeled).
+
+use crate::cfg::Cfg;
+use crate::dataflow::{solve_region, Analysis, Direction};
+use crate::diag::{Diagnostic, LintCode};
+use crate::reaching::ENTRY_DEF;
+use crate::taint::{DefSite, Sym};
+use crate::{Pass, PassContext};
+use nvp_isa::{Instr, Program, NUM_REGS};
+use std::collections::BTreeSet;
+
+/// Dataflow state inside one roll-forward region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WarState {
+    defs: [DefSite; NUM_REGS],
+    /// MAY: absolute addresses read while observing pre-region memory.
+    exposed_abs: BTreeSet<u32>,
+    /// MAY: symbolic locations read while observing pre-region memory.
+    exposed_sym: BTreeSet<Sym>,
+    /// MUST: absolute addresses written on every path so far.
+    written_abs: BTreeSet<u32>,
+    /// MUST: symbolic locations written on every path so far.
+    written_sym: BTreeSet<Sym>,
+    /// MUST: every path has performed at least one indirect write.
+    ind_covered: bool,
+}
+
+impl WarState {
+    fn entry() -> Self {
+        WarState {
+            defs: [DefSite::Unique(ENTRY_DEF); NUM_REGS],
+            exposed_abs: BTreeSet::new(),
+            exposed_sym: BTreeSet::new(),
+            written_abs: BTreeSet::new(),
+            written_sym: BTreeSet::new(),
+            ind_covered: false,
+        }
+    }
+
+    fn sym(&self, base: nvp_isa::Reg, off: i32) -> Option<Sym> {
+        match self.defs[base.index()] {
+            DefSite::Unique(d) => Some((base.0, d, off)),
+            DefSite::Merged => None,
+        }
+    }
+}
+
+struct WarAnalysis;
+
+impl Analysis for WarAnalysis {
+    type State = WarState;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> WarState {
+        WarState::entry()
+    }
+
+    fn transfer(&self, pc: usize, instr: Instr, before: &WarState) -> WarState {
+        let mut s = before.clone();
+        match instr {
+            Instr::Ld(_, a) if !before.written_abs.contains(&a) => {
+                s.exposed_abs.insert(a);
+            }
+            Instr::LdInd(_, base, off) if !before.ind_covered => {
+                if let Some(sym) = before.sym(base, off) {
+                    if !before.written_sym.contains(&sym) {
+                        s.exposed_sym.insert(sym);
+                    }
+                }
+            }
+            Instr::St(a, _) => {
+                s.written_abs.insert(a);
+            }
+            Instr::StInd(base, off, _) => {
+                if let Some(sym) = before.sym(base, off) {
+                    s.written_sym.insert(sym);
+                }
+                s.ind_covered = true;
+            }
+            _ => {}
+        }
+        if let Some(d) = instr.dst() {
+            s.defs[d.index()] = DefSite::Unique(pc);
+        }
+        s
+    }
+
+    fn join(&self, into: &mut WarState, other: &WarState) {
+        for (a, b) in into.defs.iter_mut().zip(&other.defs) {
+            if *a != *b {
+                *a = DefSite::Merged;
+            }
+        }
+        // MAY facts union; MUST facts intersect.
+        into.exposed_abs.extend(other.exposed_abs.iter().copied());
+        into.exposed_sym.extend(other.exposed_sym.iter().copied());
+        into.written_abs = into
+            .written_abs
+            .intersection(&other.written_abs)
+            .copied()
+            .collect();
+        into.written_sym = into
+            .written_sym
+            .intersection(&other.written_sym)
+            .copied()
+            .collect();
+        into.ind_covered &= other.ind_covered;
+    }
+}
+
+/// The WAR-hazard / idempotency pass.
+#[derive(Debug, Default)]
+pub struct WarPass;
+
+impl Pass for WarPass {
+    fn name(&self) -> &'static str {
+        "war-hazard"
+    }
+
+    fn run(&self, cx: &PassContext<'_>) -> Vec<Diagnostic> {
+        check_war(cx.program, cx.cfg)
+    }
+}
+
+/// Runs the WAR-hazard pass directly, returning its diagnostics.
+pub fn check_war(program: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    for (marker_pc, i) in program.iter() {
+        let Instr::MarkResume(id) = i else {
+            continue;
+        };
+        let entry = marker_pc + 1;
+        if entry >= program.len() {
+            continue;
+        }
+        // The region ends at the next marker / commit / halt: a later
+        // mark_resume re-anchors recovery, and frame_done commits the
+        // frame, so neither is re-executed from *this* marker.
+        let is_stop = |pc: usize| {
+            pc != entry
+                && matches!(
+                    program.fetch(pc),
+                    Some(Instr::MarkResume(_) | Instr::FrameDone | Instr::Halt)
+                )
+        };
+        let region: Vec<usize> = cfg
+            .reachable_until(entry, is_stop)
+            .into_iter()
+            .filter(|&pc| !is_stop(pc))
+            .collect();
+        let sol = solve_region(program, cfg, &WarAnalysis, &[entry], Some(&region));
+        for &pc in &region {
+            let Some(s) = sol.before_at(pc) else { continue };
+            match program.fetch(pc) {
+                Some(Instr::St(a, _)) if s.exposed_abs.contains(&a) => {
+                    out.push(
+                        Diagnostic::at(
+                            LintCode::WarHazard,
+                            pc,
+                            format!(
+                                "non-idempotent write: [{a}] was read earlier in the \
+                                 roll-forward region of marker #{id} (pc {marker_pc}); \
+                                 re-execution after an outage reads the overwritten value"
+                            ),
+                        )
+                        .with_context(program),
+                    );
+                }
+                Some(Instr::StInd(base, off, _)) => {
+                    if let Some(sym) = s.sym(base, off) {
+                        if s.exposed_sym.contains(&sym) {
+                            out.push(
+                                Diagnostic::at(
+                                    LintCode::WarHazard,
+                                    pc,
+                                    format!(
+                                        "non-idempotent write: [{base}{off:+}] was read earlier \
+                                         in the roll-forward region of marker #{id} \
+                                         (pc {marker_pc}); re-execution after an outage reads \
+                                         the overwritten value"
+                                    ),
+                                )
+                                .with_context(program),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_isa::{ProgramBuilder, Reg};
+
+    fn run(p: &Program) -> Vec<Diagnostic> {
+        check_war(p, &Cfg::build(p))
+    }
+
+    #[test]
+    fn read_modify_write_same_absolute_address_is_a_hazard() {
+        // The canonical accumulator: mem[50] += 1 is not idempotent.
+        let mut b = ProgramBuilder::new();
+        b.mark_resume(0)
+            .ld(Reg(0), 50)
+            .addi(Reg(0), Reg(0), 1)
+            .st(50, Reg(0))
+            .frame_done()
+            .halt();
+        let p = b.build().unwrap();
+        let v = run(&p);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code, LintCode::WarHazard);
+        assert_eq!(v[0].pc, Some(3));
+    }
+
+    #[test]
+    fn write_then_read_is_idempotent() {
+        let mut b = ProgramBuilder::new();
+        b.mark_resume(0)
+            .ldi(Reg(0), 7)
+            .st(50, Reg(0))
+            .ld(Reg(1), 50)
+            .st(51, Reg(1))
+            .frame_done()
+            .halt();
+        let p = b.build().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn read_and_write_of_distinct_addresses_is_clean() {
+        let mut b = ProgramBuilder::new();
+        b.mark_resume(0)
+            .ld(Reg(0), 10)
+            .st(20, Reg(0))
+            .frame_done()
+            .halt();
+        let p = b.build().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn symbolic_read_modify_write_is_a_hazard() {
+        let mut b = ProgramBuilder::new();
+        b.mark_resume(0)
+            .ldi(Reg(2), 30)
+            .ld_ind(Reg(0), Reg(2), 0)
+            .addi(Reg(0), Reg(0), 5)
+            .st_ind(Reg(2), 0, Reg(0))
+            .frame_done()
+            .halt();
+        let p = b.build().unwrap();
+        let v = run(&p);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].pc, Some(4));
+    }
+
+    #[test]
+    fn covering_copy_loop_makes_inplace_update_safe() {
+        // FFT's shape: a do-while copy loop writes out[i] for all i, then
+        // an in-place stage reads and rewrites out[i]. The reads observe
+        // region-internal values on every path, so the region is
+        // idempotent.
+        let mut b = ProgramBuilder::new();
+        let (i, n, v) = (Reg(0), Reg(1), Reg(2));
+        b.mark_resume(0);
+        b.ldi(i, 0).ldi(n, 8);
+        let copy = b.label();
+        b.place(copy);
+        b.ld_ind(v, i, 100) // read in[i]
+            .st_ind(i, 200, v) // write out[i]
+            .addi(i, i, 1)
+            .brlt(i, n, copy);
+        // In-place stage: out[j] = out[j] * 2.
+        b.ldi(i, 0);
+        let upd = b.label();
+        b.place(upd);
+        b.ld_ind(v, i, 200)
+            .addi(v, v, 0)
+            .st_ind(i, 200, v)
+            .addi(i, i, 1)
+            .brlt(i, n, upd);
+        b.frame_done().halt();
+        let p = b.build().unwrap();
+        assert!(run(&p).is_empty());
+    }
+
+    #[test]
+    fn hazard_across_loop_back_edge_detected() {
+        // First iteration writes [60]; the loop then *reads* [60] at the
+        // top of the next iteration before rewriting it — but along the
+        // entry path the read observes pre-region memory only if the
+        // write hasn't happened. Here the read comes first in program
+        // order, so every iteration's write hits a location the entry
+        // path has read: a hazard the linear scan would also need the
+        // back-edge to order correctly.
+        let mut b = ProgramBuilder::new();
+        let (x, bound) = (Reg(0), Reg(1));
+        b.mark_resume(0).ldi(x, 0).ldi(bound, 4);
+        let top = b.label();
+        b.place(top);
+        b.ld(Reg(2), 60)
+            .addi(Reg(2), Reg(2), 1)
+            .st(60, Reg(2))
+            .addi(x, x, 1)
+            .brlt(x, bound, top);
+        b.frame_done().halt();
+        let p = b.build().unwrap();
+        let v = run(&p);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].code, LintCode::WarHazard);
+    }
+
+    #[test]
+    fn region_ends_at_frame_done() {
+        // The write after frame_done belongs to no roll-forward region.
+        let mut b = ProgramBuilder::new();
+        b.mark_resume(0)
+            .ld(Reg(0), 10)
+            .frame_done()
+            .st(10, Reg(0))
+            .halt();
+        let p = b.build().unwrap();
+        assert!(run(&p).is_empty());
+    }
+}

@@ -1,0 +1,117 @@
+//! Property tests: randomly generated well-formed programs never trip the
+//! analyzer, and randomly injected defects always do.
+//!
+//! The generator builds programs from a fixed "safe vocabulary" — precise
+//! registers (`r0..r3`) for control, AC registers (`r12..r15`) for data,
+//! loads from `[100..150)`, stores to `[150..200)` inside the approximable
+//! region `[100..200)` — so every clean program respects the isolation and
+//! idempotency contracts by construction. Defect injection then plants a
+//! single forbidden instruction at a random position and asserts the
+//! matching lint code appears.
+
+use nvp_analysis::{analyze_program, AnalysisConfig, LintCode, Severity};
+use nvp_isa::{Program, ProgramBuilder, Reg};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const PRECISE: [Reg; 4] = [Reg(0), Reg(1), Reg(2), Reg(3)];
+const AC: [Reg; 4] = [Reg(12), Reg(13), Reg(14), Reg(15)];
+
+/// What to plant into an otherwise-clean program.
+#[derive(Clone, Copy, PartialEq)]
+enum Defect {
+    None,
+    BranchOnApprox,
+    AddressFromApprox,
+    War,
+}
+
+/// Builds a program from encoded safe ops, optionally planting `defect`
+/// at op position `at` (clamped to the op count).
+fn build(raw: &[u32], defect: Defect, at: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    for r in AC {
+        b.mark_ac(r);
+    }
+    b.approx_region(100, 200);
+    let end = b.label();
+    b.mark_resume(0);
+    let at = at % raw.len().max(1);
+    for (i, &word) in raw.iter().enumerate() {
+        if i == at {
+            match defect {
+                Defect::None => {}
+                Defect::BranchOnApprox => {
+                    b.brz(AC[word as usize % 4], end);
+                }
+                Defect::AddressFromApprox => {
+                    b.ld_ind(PRECISE[1], AC[word as usize % 4], 0);
+                }
+                Defect::War => {
+                    // Read-modify-write of an address (500+) the clean
+                    // vocabulary never touches: a guaranteed exposed read
+                    // followed by a write inside the roll-forward region.
+                    let a = 500 + word % 50;
+                    b.ld(PRECISE[1], a)
+                        .addi(PRECISE[1], PRECISE[1], 1)
+                        .st(a, PRECISE[1]);
+                }
+            }
+        }
+        let p = PRECISE[(word >> 8) as usize % 4];
+        let a = AC[(word >> 16) as usize % 4];
+        let a2 = AC[(word >> 24) as usize % 4];
+        match word % 6 {
+            0 => b.ldi(p, (word >> 3) as i32 % 256),
+            1 => b.addi(p, p, (word >> 5) as i32 % 16),
+            2 => b.add(a, a, a2),
+            3 => b.ld(a, 100 + (word >> 4) % 50),
+            4 => b.st(150 + (word >> 4) % 50, a),
+            _ => b.muli(a, a, (word >> 6) as i32 % 8),
+        };
+    }
+    b.place(end);
+    b.frame_done().halt();
+    b.build().expect("generated program must assemble")
+}
+
+fn codes(p: &Program) -> Vec<LintCode> {
+    analyze_program(p, &AnalysisConfig::default())
+        .at_least(Severity::Warning)
+        .map(|d| d.code)
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Programs built from the safe vocabulary are never flagged.
+    #[test]
+    fn clean_programs_are_never_flagged(raw in vec(any::<u32>(), 1..48), at in 0usize..48) {
+        let p = build(&raw, Defect::None, at);
+        let v = codes(&p);
+        prop_assert!(v.is_empty(), "clean program flagged: {v:?}\n{}", p.disassemble());
+    }
+
+    /// An injected branch on an AC register is always caught.
+    #[test]
+    fn injected_branch_on_approx_always_caught(raw in vec(any::<u32>(), 1..48), at in 0usize..48) {
+        let p = build(&raw, Defect::BranchOnApprox, at);
+        prop_assert!(codes(&p).contains(&LintCode::BranchOnApprox));
+    }
+
+    /// An injected AC-based effective address is always caught.
+    #[test]
+    fn injected_address_from_approx_always_caught(raw in vec(any::<u32>(), 1..48), at in 0usize..48) {
+        let p = build(&raw, Defect::AddressFromApprox, at);
+        prop_assert!(codes(&p).contains(&LintCode::AddressFromApprox));
+    }
+
+    /// An injected read-modify-write in the roll-forward region is always
+    /// caught.
+    #[test]
+    fn injected_war_hazard_always_caught(raw in vec(any::<u32>(), 1..48), at in 0usize..48) {
+        let p = build(&raw, Defect::War, at);
+        prop_assert!(codes(&p).contains(&LintCode::WarHazard));
+    }
+}

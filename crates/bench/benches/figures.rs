@@ -2,10 +2,10 @@
 //! re-executes every reproduction path at quick scale and reports how long
 //! each experiment takes to regenerate.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion};
 use nvp_bench::bench_scale;
 use nvp_repro::experiments as e;
+use std::time::Duration;
 
 fn bench_figures(c: &mut Criterion) {
     let s = bench_scale();
@@ -16,8 +16,8 @@ fn bench_figures(c: &mut Criterion) {
 
     g.bench_function("fig2_power_profiles", |b| b.iter(|| e::fig2(s)));
     g.bench_function("fig3_outage_stats", |b| b.iter(|| e::fig3(s)));
-    g.bench_function("fig4_sttram_write", |b| b.iter(|| e::fig4()));
-    g.bench_function("fig5_retention_shaping", |b| b.iter(|| e::fig5()));
+    g.bench_function("fig4_sttram_write", |b| b.iter(e::fig4));
+    g.bench_function("fig5_retention_shaping", |b| b.iter(e::fig5));
     g.bench_function("fig9_timing_behavior", |b| b.iter(|| e::fig9(s)));
     g.bench_function("fig12_alu_quality", |b| b.iter(|| e::fig12(s)));
     g.bench_function("fig14_mem_quality", |b| b.iter(|| e::fig14(s)));

@@ -1,12 +1,12 @@
 //! Kernel-level benchmarks: VM execution throughput per testbench (one
 //! full-precision frame) and golden-reference cost.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nvp_isa::ApproxConfig;
 use nvp_kernels::KernelId;
 use nvp_repro::dims;
 use nvp_sim::{instructions_per_frame, run_fixed};
+use std::time::Duration;
 
 fn bench_kernels(c: &mut Criterion) {
     let img = 16;

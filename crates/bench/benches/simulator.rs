@@ -1,7 +1,6 @@
 //! System-simulator benchmarks: trace synthesis, the four execution modes,
 //! and the NVM backup/decay path.
 
-use std::time::Duration;
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use nvp_kernels::KernelId;
 use nvp_nvm::backup::ApproximateBackupStore;
@@ -9,6 +8,7 @@ use nvp_nvm::RetentionPolicy;
 use nvp_power::synth::WatchProfile;
 use nvp_power::Ticks;
 use nvp_sim::{ExecMode, IncidentalSetup, SystemConfig, SystemSim};
+use std::time::Duration;
 
 fn bench_simulator(c: &mut Criterion) {
     let mut g = c.benchmark_group("trace_synthesis");
@@ -25,8 +25,10 @@ fn bench_simulator(c: &mut Criterion) {
     let spec = id.spec(12, 12);
     let frames: Vec<Vec<i32>> = (0..2).map(|i| id.make_input(12, 12, i)).collect();
     let profile = WatchProfile::P1.synthesize_seconds(1.0);
-    let mut cfg = SystemConfig::default();
-    cfg.record_outputs = false;
+    let cfg = SystemConfig {
+        record_outputs: false,
+        ..Default::default()
+    };
 
     let mut g = c.benchmark_group("system_modes");
     g.sample_size(10);
@@ -42,9 +44,7 @@ fn bench_simulator(c: &mut Criterion) {
     ];
     for (name, mode) in modes {
         g.bench_function(name, |b| {
-            b.iter(|| {
-                SystemSim::new(spec.clone(), frames.clone(), mode, cfg.clone()).run(&profile)
-            })
+            b.iter(|| SystemSim::new(spec.clone(), frames.clone(), mode, cfg.clone()).run(&profile))
         });
     }
     g.finish();

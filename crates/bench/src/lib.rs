@@ -4,6 +4,9 @@
 //! Criterion so `cargo bench` both times the harness and re-exercises every
 //! table/figure path.
 
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
 /// Quick experiment scale used by all benches.
 pub fn bench_scale() -> nvp_repro::Scale {
     nvp_repro::Scale::quick()

@@ -183,7 +183,8 @@ impl IncidentalExecutor {
             self.system.clone(),
         );
         let run = sim.run(profile);
-        let quality = QualityReport::score(self.kernel, self.width, self.height, &self.frames, &run);
+        let quality =
+            QualityReport::score(self.kernel, self.width, self.height, &self.frames, &run);
         IncidentalReport {
             progress: ProgressSummary::from(&run),
             quality,
@@ -214,8 +215,7 @@ mod tests {
 
     #[test]
     fn incidental_without_rollforward_is_dynamic() {
-        let pragmas =
-            PragmaSet::parse(["#pragma ac incidental (src, 3, 8, log)"]).unwrap();
+        let pragmas = PragmaSet::parse(["#pragma ac incidental (src, 3, 8, log)"]).unwrap();
         let exec = IncidentalExecutor::builder(KernelId::Median, 8, 8)
             .pragmas(pragmas)
             .build();
@@ -227,8 +227,7 @@ mod tests {
         let exec = IncidentalExecutor::builder(KernelId::Tiff2Bw, 8, 8)
             .frames(2)
             .build();
-        let profile =
-            PowerProfile::constant(Power::from_uw(600.0), Ticks::from_seconds(4.0));
+        let profile = PowerProfile::constant(Power::from_uw(600.0), Ticks::from_seconds(4.0));
         let rep = exec.run(&profile);
         assert!(rep.progress.frames_committed >= 2);
         assert_eq!(rep.quality.mean_mse(), 0.0);

@@ -81,7 +81,10 @@ impl fmt::Display for PragmaError {
             PragmaError::UnknownPragma(s) => write!(f, "unknown pragma: {s}"),
             PragmaError::BadArguments(s) => write!(f, "bad pragma arguments: {s}"),
             PragmaError::BadBitRange(lo, hi) => {
-                write!(f, "bit range [{lo}, {hi}] must satisfy 1 <= min <= max <= 8")
+                write!(
+                    f,
+                    "bit range [{lo}, {hi}] must satisfy 1 <= min <= max <= 8"
+                )
             }
             PragmaError::Inconsistent(s) => write!(f, "inconsistent pragma set: {s}"),
         }
@@ -107,9 +110,7 @@ impl Pragma {
             .find('(')
             .ok_or_else(|| PragmaError::BadArguments(body.to_string()))?;
         let name = body[..open].trim();
-        let args_str = body[open + 1..]
-            .trim_end_matches(')')
-            .trim();
+        let args_str = body[open + 1..].trim_end_matches(')').trim();
         let args: Vec<&str> = args_str.split(',').map(str::trim).collect();
         let argn = |i: usize| -> Result<&str, PragmaError> {
             args.get(i)
@@ -186,7 +187,10 @@ impl fmt::Display for Pragma {
                 minbits,
                 maxbits,
                 policy,
-            } => write!(f, "#pragma ac incidental ({var}, {minbits}, {maxbits}, {policy})"),
+            } => write!(
+                f,
+                "#pragma ac incidental ({var}, {minbits}, {maxbits}, {policy})"
+            ),
             Pragma::RecoverFrom { variable } => {
                 write!(f, "#pragma ac incidental_recover_from ({variable})")
             }

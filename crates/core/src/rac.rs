@@ -49,6 +49,7 @@ impl RacOutcome {
 ///
 /// Panics if `passes` is zero, `minbits` is outside `1..=8`, or the profile
 /// is empty.
+#[allow(clippy::too_many_arguments)]
 pub fn recompute_and_combine(
     kernel: KernelId,
     width: usize,
@@ -76,15 +77,16 @@ pub fn recompute_and_combine(
         // Each pass sees the trace rotated to a different phase (and a
         // fresh decay/noise seed): consecutive recomputations ride
         // different power conditions.
-        let offset =
-            nvp_power::Ticks((pass as u64 * profile.len() as u64) / passes as u64);
+        let offset = nvp_power::Ticks((pass as u64 * profile.len() as u64) / passes as u64);
         let mut segment = profile.segment(offset, profile.duration());
         segment.extend(&profile.segment(nvp_power::Ticks(0), offset));
         // Give the pass room to finish its frame even from a weak phase.
         let segment = segment.tiled(nvp_power::Ticks(2 * profile.len() as u64));
-        let mut cfg = SystemConfig::default();
-        cfg.frames_limit = Some(1);
-        cfg.seed = 0xAC ^ (pass as u64).wrapping_mul(0x9E37_79B9);
+        let cfg = SystemConfig {
+            frames_limit: Some(1),
+            seed: 0xAC ^ (pass as u64).wrapping_mul(0x9E37_79B9),
+            ..Default::default()
+        };
         let sim = SystemSim::new(
             spec.clone(),
             vec![input.to_vec()],
@@ -114,7 +116,11 @@ pub fn recompute_and_combine(
                     merged_prec[i] = merged_prec[i].max(p);
                 }
                 MergeMode::Min => {
-                    merged[i] = if merged_prec[i] == 0 { v } else { merged[i].min(v) };
+                    merged[i] = if merged_prec[i] == 0 {
+                        v
+                    } else {
+                        merged[i].min(v)
+                    };
                     merged_prec[i] = merged_prec[i].max(p);
                 }
                 MergeMode::Sum => {
@@ -155,16 +161,7 @@ mod tests {
         let id = KernelId::Median;
         let input = id.make_input(12, 12, 3);
         let profile = WatchProfile::P1.synthesize_seconds(4.0);
-        let out = recompute_and_combine(
-            id,
-            12,
-            12,
-            &input,
-            2,
-            5,
-            MergeMode::HigherBits,
-            &profile,
-        );
+        let out = recompute_and_combine(id, 12, 12, &input, 2, 5, MergeMode::HigherBits, &profile);
         assert_eq!(out.psnr_after_pass.len(), 5);
         // Merging is statistically improving: no pass may regress much,
         // and the final merge must clearly beat the first pass.
@@ -187,8 +184,7 @@ mod tests {
         let id = KernelId::Median;
         let input = id.make_input(12, 12, 9);
         let profile = WatchProfile::P2.synthesize_seconds(4.0);
-        let out =
-            recompute_and_combine(id, 12, 12, &input, 2, 6, MergeMode::HigherBits, &profile);
+        let out = recompute_and_combine(id, 12, 12, &input, 2, 6, MergeMode::HigherBits, &profile);
         let early = out.mse_after_pass[0] - out.mse_after_pass[3];
         let late = out.mse_after_pass[3] - out.mse_after_pass[5];
         assert!(

@@ -40,6 +40,9 @@ pub struct ProgressSummary {
     pub frames_abandoned: u64,
     /// Backup energy as a fraction of income.
     pub backup_energy_fraction: f64,
+    /// Backup energy avoided by live-only backup scope, in nanojoules
+    /// (0 under `BackupScope::FullState`).
+    pub backup_energy_saved_nj: f64,
     /// Total retention failures.
     pub retention_failures: u64,
 }
@@ -54,6 +57,7 @@ impl From<&RunReport> for ProgressSummary {
             incidental_frames: r.incidental_frames,
             frames_abandoned: r.frames_abandoned,
             backup_energy_fraction: r.backup_energy_fraction(),
+            backup_energy_saved_nj: r.energy_backup_saved.as_nj(),
             retention_failures: r.total_retention_failures(),
         }
     }
@@ -90,9 +94,10 @@ impl QualityReport {
             .map(|c| {
                 let golden = &goldens[(c.input_index as usize) % goldens.len()];
                 let (mse, psnr) = match kernel.quality_domain() {
-                    QualityDomain::Clamped => {
-                        (quality::mse(golden, &c.output), quality::psnr(golden, &c.output))
-                    }
+                    QualityDomain::Clamped => (
+                        quality::mse(golden, &c.output),
+                        quality::psnr(golden, &c.output),
+                    ),
                     QualityDomain::Raw => (
                         quality::mse_raw(golden, &c.output),
                         quality::psnr_raw(golden, &c.output),
@@ -142,7 +147,11 @@ impl QualityReport {
             .iter()
             .map(|f| f.psnr)
             .fold(f64::INFINITY, f64::min)
-            .min(if self.frames.is_empty() { 0.0 } else { f64::INFINITY })
+            .min(if self.frames.is_empty() {
+                0.0
+            } else {
+                f64::INFINITY
+            })
     }
 
     /// Quality restricted to one lane class.
@@ -156,8 +165,8 @@ impl QualityReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use nvp_sim::CommittedFrame;
     use nvp_power::Ticks;
+    use nvp_sim::CommittedFrame;
 
     fn report_with(outputs: Vec<(u64, u8, Vec<i32>)>) -> RunReport {
         let mut r = RunReport::default();

@@ -14,6 +14,17 @@
 //! becomes tainted when written by an AC destination, and taint propagates
 //! through ALU operands. All kernel generators in `nvp-kernels` are
 //! validated against it in their tests.
+//!
+//! **Superseded by `nvp-analysis`.** This module's scan is register-only
+//! and flow-insensitive: it cannot see taint carried through memory
+//! (a value stored late in a loop body and reloaded at the top of the
+//! next iteration escapes it entirely), and it keeps derived registers
+//! tainted after a precise redefinition. The `nvp-analysis` crate
+//! re-implements the same contract as a flow-sensitive CFG fixpoint with
+//! memory tracking (lint codes `NVP-E001`..`E003`), plus WAR-hazard and
+//! backup-liveness passes; prefer it for all new checking. This module is
+//! kept as the dependency-free fast path used by the kernel generators'
+//! own unit tests.
 
 use crate::instr::{Instr, InstrClass, Reg};
 use crate::program::Program;
@@ -54,10 +65,16 @@ impl fmt::Display for AcViolation {
                 write!(f, "pc {pc}: branch tests approximate register r{reg}")
             }
             AcViolation::AddressFromApprox { pc, reg } => {
-                write!(f, "pc {pc}: address computed from approximate register r{reg}")
+                write!(
+                    f,
+                    "pc {pc}: address computed from approximate register r{reg}"
+                )
             }
             AcViolation::StoreOutsideRegion { pc, addr } => {
-                write!(f, "pc {pc}: approximate store to [{addr}] outside the marked region")
+                write!(
+                    f,
+                    "pc {pc}: approximate store to [{addr}] outside the marked region"
+                )
             }
         }
     }
@@ -109,7 +126,10 @@ pub fn analyze(p: &Program) -> ProgramStats {
             s.read_regs |= 1 << r.0;
         }
         match i {
-            Instr::Jmp(t) | Instr::Brz(_, t) | Instr::Brnz(_, t) | Instr::Brlt(_, _, t)
+            Instr::Jmp(t)
+            | Instr::Brz(_, t)
+            | Instr::Brnz(_, t)
+            | Instr::Brlt(_, _, t)
             | Instr::Brge(_, _, t)
                 if (t as usize) <= pc =>
             {
@@ -166,10 +186,8 @@ pub fn verify_ac_isolation_with(p: &Program, sanitized: u16) -> Vec<AcViolation>
     let region = p.approx_region();
     for (pc, i) in p.iter() {
         match i {
-            Instr::Brz(r, _) | Instr::Brnz(r, _) => {
-                if is_tainted(r) {
-                    violations.push(AcViolation::BranchOnApprox { pc, reg: r.0 });
-                }
+            Instr::Brz(r, _) | Instr::Brnz(r, _) if is_tainted(r) => {
+                violations.push(AcViolation::BranchOnApprox { pc, reg: r.0 });
             }
             Instr::Brlt(a, b, _) | Instr::Brge(a, b, _) => {
                 for r in [a, b] {
@@ -178,20 +196,13 @@ pub fn verify_ac_isolation_with(p: &Program, sanitized: u16) -> Vec<AcViolation>
                     }
                 }
             }
-            Instr::LdInd(_, base, _) | Instr::StInd(base, _, _) => {
-                if is_tainted(base) {
-                    violations.push(AcViolation::AddressFromApprox { pc, reg: base.0 });
-                }
+            Instr::LdInd(_, base, _) | Instr::StInd(base, _, _) if is_tainted(base) => {
+                violations.push(AcViolation::AddressFromApprox { pc, reg: base.0 });
             }
-            Instr::St(addr, s) => {
-                if is_tainted(s) {
-                    let inside = region
-                        .as_ref()
-                        .map(|r| r.contains(&addr))
-                        .unwrap_or(false);
-                    if !inside {
-                        violations.push(AcViolation::StoreOutsideRegion { pc, addr });
-                    }
+            Instr::St(addr, s) if is_tainted(s) => {
+                let inside = region.as_ref().map(|r| r.contains(&addr)).unwrap_or(false);
+                if !inside {
+                    violations.push(AcViolation::StoreOutsideRegion { pc, addr });
                 }
             }
             _ => {}

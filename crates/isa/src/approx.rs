@@ -236,8 +236,10 @@ mod tests {
 
     #[test]
     fn validate_catches_bad_lanes_and_bits() {
-        let mut c = ApproxConfig::default();
-        c.lanes = 0;
+        let c = ApproxConfig {
+            lanes: 0,
+            ..Default::default()
+        };
         assert!(c.validate().is_err());
         let mut c = ApproxConfig::default();
         c.alu_bits[2] = 0;

@@ -28,7 +28,9 @@ impl fmt::Display for DecodeError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             DecodeError::BadLength(n) => write!(f, "{n} bytes is not a whole instruction count"),
-            DecodeError::BadOpcode(i, op) => write!(f, "unknown opcode {op:#04x} at instruction {i}"),
+            DecodeError::BadOpcode(i, op) => {
+                write!(f, "unknown opcode {op:#04x} at instruction {i}")
+            }
             DecodeError::Invalid(e) => write!(f, "decoded program invalid: {e}"),
         }
     }
@@ -158,7 +160,7 @@ pub fn encode_program(p: &Program) -> Vec<u8> {
 /// program (bad registers, missing halt).
 pub fn decode_program(bytes: &[u8]) -> Result<Program, DecodeError> {
     const TRAILER: usize = 12;
-    if bytes.len() < TRAILER || (bytes.len() - TRAILER) % INSTR_BYTES != 0 {
+    if bytes.len() < TRAILER || !(bytes.len() - TRAILER).is_multiple_of(INSTR_BYTES) {
         return Err(DecodeError::BadLength(bytes.len()));
     }
     let (body, trailer) = bytes.split_at(bytes.len() - TRAILER);

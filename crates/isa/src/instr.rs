@@ -156,10 +156,25 @@ impl Instr {
     pub fn dst(self) -> Option<Reg> {
         use Instr::*;
         match self {
-            Ldi(d, _) | Mov(d, _) | Ld(d, _) | LdInd(d, _, _) | Add(d, _, _) | Sub(d, _, _)
-            | Mul(d, _, _) | AddI(d, _, _) | MulI(d, _, _) | Shl(d, _, _) | Shr(d, _, _)
-            | And(d, _, _) | Or(d, _, _) | Xor(d, _, _) | Min(d, _, _) | Max(d, _, _)
-            | MinI(d, _, _) | MaxI(d, _, _) | Abs(d, _) => Some(d),
+            Ldi(d, _)
+            | Mov(d, _)
+            | Ld(d, _)
+            | LdInd(d, _, _)
+            | Add(d, _, _)
+            | Sub(d, _, _)
+            | Mul(d, _, _)
+            | AddI(d, _, _)
+            | MulI(d, _, _)
+            | Shl(d, _, _)
+            | Shr(d, _, _)
+            | And(d, _, _)
+            | Or(d, _, _)
+            | Xor(d, _, _)
+            | Min(d, _, _)
+            | Max(d, _, _)
+            | MinI(d, _, _)
+            | MaxI(d, _, _)
+            | Abs(d, _) => Some(d),
             _ => None,
         }
     }
@@ -168,12 +183,25 @@ impl Instr {
     pub fn srcs(self) -> Vec<Reg> {
         use Instr::*;
         match self {
-            Mov(_, s) | AddI(_, s, _) | MulI(_, s, _) | Shl(_, s, _) | Shr(_, s, _)
-            | MinI(_, s, _) | MaxI(_, s, _) | Abs(_, s) | LdInd(_, s, _) => vec![s],
+            Mov(_, s)
+            | AddI(_, s, _)
+            | MulI(_, s, _)
+            | Shl(_, s, _)
+            | Shr(_, s, _)
+            | MinI(_, s, _)
+            | MaxI(_, s, _)
+            | Abs(_, s)
+            | LdInd(_, s, _) => vec![s],
             St(_, s) | Brz(s, _) | Brnz(s, _) => vec![s],
             StInd(b, _, s) => vec![b, s],
-            Add(_, a, b) | Sub(_, a, b) | Mul(_, a, b) | And(_, a, b) | Or(_, a, b)
-            | Xor(_, a, b) | Min(_, a, b) | Max(_, a, b) => {
+            Add(_, a, b)
+            | Sub(_, a, b)
+            | Mul(_, a, b)
+            | And(_, a, b)
+            | Or(_, a, b)
+            | Xor(_, a, b)
+            | Min(_, a, b)
+            | Max(_, a, b) => {
                 vec![a, b]
             }
             Brlt(a, b, _) | Brge(a, b, _) => vec![a, b],
@@ -252,7 +280,10 @@ mod tests {
             Instr::Add(Reg(1), Reg(2), Reg(3)).to_string(),
             "add   r1, r2, r3"
         );
-        assert_eq!(Instr::LdInd(Reg(0), Reg(1), -4).to_string(), "ld    r0, [r1-4]");
+        assert_eq!(
+            Instr::LdInd(Reg(0), Reg(1), -4).to_string(),
+            "ld    r0, [r1-4]"
+        );
         assert_eq!(Instr::MarkResume(2).to_string(), "mark_resume #2");
     }
 

@@ -45,10 +45,12 @@ pub mod program;
 pub mod regfile;
 pub mod vm;
 
-pub use analysis::{analyze, verify_ac_isolation, verify_ac_isolation_with, AcViolation, ProgramStats};
+pub use analysis::{
+    analyze, verify_ac_isolation, verify_ac_isolation_with, AcViolation, ProgramStats,
+};
 pub use approx::{alu_approximate, mem_truncate, ApproxConfig};
 pub use encoding::{decode_program, encode_program, DecodeError};
-pub use instr::{Instr, InstrClass, Reg};
+pub use instr::{Instr, InstrClass, Reg, NUM_REGS};
 pub use program::{Label, Program, ProgramBuilder, ProgramError};
 pub use regfile::RegFile;
 pub use vm::{ArchSnapshot, StepEvent, Vm, VmError};

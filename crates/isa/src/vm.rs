@@ -609,10 +609,16 @@ mod tests {
     fn simd_lanes_compute_independently() {
         // One add executed on two lanes with different data versions.
         let mut b = ProgramBuilder::new();
-        b.ld(Reg(0), 0).ld(Reg(1), 1).add(Reg(2), Reg(0), Reg(1)).st(3, Reg(2)).halt();
+        b.ld(Reg(0), 0)
+            .ld(Reg(1), 1)
+            .add(Reg(2), Reg(0), Reg(1))
+            .st(3, Reg(2))
+            .halt();
         let mut vm = Vm::new(b.build().unwrap(), 8);
-        let mut cfg = ApproxConfig::default();
-        cfg.lanes = 2;
+        let cfg = ApproxConfig {
+            lanes: 2,
+            ..Default::default()
+        };
         vm.set_approx(cfg);
         vm.mem_mut().write(0, 0, 10, 8);
         vm.mem_mut().write(1, 0, 1, 8);
@@ -668,8 +674,10 @@ mod tests {
     #[should_panic(expected = "invalid approximation config")]
     fn set_approx_validates() {
         let mut vm = Vm::new(simple_sum_program(), 4);
-        let mut cfg = ApproxConfig::default();
-        cfg.lanes = 9;
+        let cfg = ApproxConfig {
+            lanes: 9,
+            ..Default::default()
+        };
         vm.set_approx(cfg);
     }
 }

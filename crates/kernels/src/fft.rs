@@ -195,7 +195,7 @@ pub fn make_input(width: usize, height: usize, seed: u64) -> Vec<i32> {
         let s = 128.0 + 80.0 * (3.0 * x + phase).sin() + 40.0 * (7.0 * x).sin();
         v.push(s.round() as i32);
     }
-    v.extend(std::iter::repeat(0).take(n));
+    v.extend(std::iter::repeat_n(0, n));
     v
 }
 
@@ -223,15 +223,11 @@ mod tests {
     fn dc_signal_concentrates_in_bin_zero() {
         let n = 16;
         let mut frame = vec![100i32; n];
-        frame.extend(std::iter::repeat(0).take(n));
+        frame.extend(std::iter::repeat_n(0, n));
         let out = golden(&frame, 4, 4);
         assert_eq!(out[0], 1600); // sum of inputs
-        for k in 1..n {
-            assert!(
-                out[k].abs() <= n as i32,
-                "bin {k} = {} should be ~0",
-                out[k]
-            );
+        for (k, &v) in out.iter().enumerate().take(n).skip(1) {
+            assert!(v.abs() <= n as i32, "bin {k} = {v} should be ~0");
         }
     }
 
@@ -244,7 +240,7 @@ mod tests {
                 (100.0 * (3.0 * i as f64 / n as f64 * std::f64::consts::TAU).cos()).round() as i32
             })
             .collect();
-        frame.extend(std::iter::repeat(0).take(n));
+        frame.extend(std::iter::repeat_n(0, n));
         let out = golden(&frame, 8, 4);
         let mag: Vec<f64> = (0..n)
             .map(|k| ((out[k] as f64).powi(2) + (out[n + k] as f64).powi(2)).sqrt())
@@ -261,7 +257,7 @@ mod tests {
     #[test]
     fn bitrev_is_a_permutation() {
         let t = bitrev_table(16);
-        let mut seen = vec![false; 16];
+        let mut seen = [false; 16];
         for &v in &t {
             seen[v as usize] = true;
         }

@@ -169,7 +169,7 @@ impl Image {
     pub fn checkerboard(width: usize, height: usize, cell: usize) -> Self {
         assert!(cell > 0, "cell size must be positive");
         Image::from_fn(width, height, |x, y| {
-            if ((x / cell) + (y / cell)) % 2 == 0 {
+            if ((x / cell) + (y / cell)).is_multiple_of(2) {
                 220
             } else {
                 35

@@ -33,7 +33,10 @@ const SAD_INIT: i32 = 9_999_999;
 /// Panics unless both dimensions are positive multiples of 8.
 pub fn spec(width: usize, height: usize) -> KernelSpec {
     assert!(
-        width % BLOCK == 0 && height % BLOCK == 0 && width >= BLOCK && height >= BLOCK,
+        width.is_multiple_of(BLOCK)
+            && height.is_multiple_of(BLOCK)
+            && width >= BLOCK
+            && height >= BLOCK,
         "jpeg frame must be a positive multiple of {BLOCK}x{BLOCK}"
     );
     let n = (width * height) as i32;
@@ -106,7 +109,9 @@ pub fn spec(width: usize, height: usize) -> KernelSpec {
         .addi(px, px, 1)
         .ldi(tmp, BLOCK as i32)
         .brlt(px, tmp, px_top);
-    b.addi(py, py, 1).ldi(tmp, BLOCK as i32).brlt(py, tmp, py_top);
+    b.addi(py, py, 1)
+        .ldi(tmp, BLOCK as i32)
+        .brlt(py, tmp, py_top);
     // if sad < best { best = sad; bdx = dx; bdy = dy }
     let skip = b.label();
     b.brge(sad, best, skip);
@@ -184,15 +189,7 @@ pub fn golden(input: &[i32], width: usize, height: usize) -> Vec<i32> {
     out
 }
 
-fn block_sad(
-    cur: &[i32],
-    rf: &[i32],
-    width: usize,
-    bx: usize,
-    by: usize,
-    dx: i32,
-    dy: i32,
-) -> i32 {
+fn block_sad(cur: &[i32], rf: &[i32], width: usize, bx: usize, by: usize, dx: i32, dy: i32) -> i32 {
     let mut sad = 0i32;
     for py in 0..BLOCK {
         for px in 0..BLOCK {

@@ -48,7 +48,10 @@ const NETWORK: [(usize, usize); 19] = [
 ///
 /// Panics if the frame is smaller than 3×3.
 pub fn spec(width: usize, height: usize) -> KernelSpec {
-    assert!(width >= 3 && height >= 3, "median needs at least a 3x3 frame");
+    assert!(
+        width >= 3 && height >= 3,
+        "median needs at least a 3x3 frame"
+    );
     let n = width * height;
     let w = width as i32;
     let in_base = 0i32;

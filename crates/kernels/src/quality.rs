@@ -94,11 +94,7 @@ pub fn jpeg_size_bits(residual_sad: &[i64], block_pixels: usize) -> f64 {
 
 /// Size inflation of an approximate encode vs the precise encode
 /// (`1.0` = same size, `1.5` = the paper's QoS limit).
-pub fn jpeg_size_inflation(
-    precise_sad: &[i64],
-    approx_sad: &[i64],
-    block_pixels: usize,
-) -> f64 {
+pub fn jpeg_size_inflation(precise_sad: &[i64], approx_sad: &[i64], block_pixels: usize) -> f64 {
     let p = jpeg_size_bits(precise_sad, block_pixels);
     let a = jpeg_size_bits(approx_sad, block_pixels);
     a / p

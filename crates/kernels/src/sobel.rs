@@ -25,7 +25,10 @@ const BOUND: Reg = Reg(3);
 ///
 /// Panics if the frame is smaller than 3×3.
 pub fn spec(width: usize, height: usize) -> KernelSpec {
-    assert!(width >= 3 && height >= 3, "sobel needs at least a 3x3 frame");
+    assert!(
+        width >= 3 && height >= 3,
+        "sobel needs at least a 3x3 frame"
+    );
     let n = width * height;
     let mut b = ProgramBuilder::new();
     // Data registers carry pixel values -> approximable.

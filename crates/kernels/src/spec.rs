@@ -75,8 +75,7 @@ impl KernelId {
     ];
 
     /// The three kernels used by the Section 8.1 quality study.
-    pub const QUALITY_TRIO: [KernelId; 3] =
-        [KernelId::Sobel, KernelId::Median, KernelId::Integral];
+    pub const QUALITY_TRIO: [KernelId; 3] = [KernelId::Sobel, KernelId::Median, KernelId::Integral];
 
     /// The testbench name as printed in the paper.
     pub fn name(self) -> &'static str {
@@ -142,6 +141,32 @@ impl KernelId {
             KernelId::Tiff2Bw => tiff::golden_bw(input, width, height),
             KernelId::Tiff2Rgba => tiff::golden_rgba(input, width, height),
             KernelId::Fft => fft::golden(input, width, height),
+        }
+    }
+
+    /// Smallest representative frame dimensions this kernel accepts, used
+    /// by tests and the `nvp-lint` driver (FFT needs a power-of-two signal,
+    /// JPEG motion estimation needs whole 8-pixel blocks).
+    pub fn min_dims(self) -> (usize, usize) {
+        match self {
+            KernelId::Fft => (8, 4),
+            KernelId::JpegEncode => (16, 8),
+            _ => (8, 8),
+        }
+    }
+
+    /// Registers the compiler asserts are safe for control flow and
+    /// addressing despite carrying approximation-derived values (a
+    /// bitmask). SUSAN indexes its reciprocal table with a count clamped
+    /// into `0..=9` before use; JPEG motion estimation *deliberately* lets
+    /// the approximate SAD steer the best-vector comparison — the branch
+    /// picks among equally-safe outputs, degrading only compressed size
+    /// (Section 8.6's quality knob).
+    pub fn sanitized_regs(self) -> u16 {
+        match self {
+            KernelId::SusanCorners | KernelId::SusanEdges | KernelId::SusanSmoothing => 1 << 7,
+            KernelId::JpegEncode => (1 << 10) | (1 << 11),
+            _ => 0,
         }
     }
 
@@ -310,26 +335,9 @@ mod tests {
         // clamped count register (r7), which the compiler sanitizes.
         use nvp_isa::analysis::verify_ac_isolation_with;
         for id in KernelId::ALL {
-            let (w, h) = match id {
-                KernelId::Fft => (8, 4),
-                KernelId::JpegEncode => (16, 8),
-                _ => (8, 8),
-            };
-            let sanitized: u16 = match id {
-                // SUSAN indexes its reciprocal table with a count clamped
-                // into 0..=9 before use.
-                KernelId::SusanCorners
-                | KernelId::SusanEdges
-                | KernelId::SusanSmoothing => 1 << 7,
-                // Motion estimation *deliberately* lets the approximate
-                // SAD steer the best-vector comparison: the branch picks
-                // among equally-safe outputs, degrading only compressed
-                // size (Section 8.6's quality knob).
-                KernelId::JpegEncode => (1 << 10) | (1 << 11),
-                _ => 0,
-            };
+            let (w, h) = id.min_dims();
             let spec = id.spec(w, h);
-            let v = verify_ac_isolation_with(&spec.program, sanitized);
+            let v = verify_ac_isolation_with(&spec.program, id.sanitized_regs());
             assert!(v.is_empty(), "{id}: {:?}", v);
         }
     }
@@ -338,11 +346,7 @@ mod tests {
     fn every_kernel_program_encodes_and_decodes() {
         use nvp_isa::{decode_program, encode_program};
         for id in KernelId::ALL {
-            let (w, h) = match id {
-                KernelId::Fft => (8, 4),
-                KernelId::JpegEncode => (16, 8),
-                _ => (8, 8),
-            };
+            let (w, h) = id.min_dims();
             let spec = id.spec(w, h);
             let back = decode_program(&encode_program(&spec.program)).unwrap();
             assert_eq!(spec.program, back, "{id}");
@@ -353,11 +357,7 @@ mod tests {
     fn kernel_static_profiles_are_sane() {
         use nvp_isa::analysis::analyze;
         for id in KernelId::ALL {
-            let (w, h) = match id {
-                KernelId::Fft => (8, 4),
-                KernelId::JpegEncode => (16, 8),
-                _ => (8, 8),
-            };
+            let (w, h) = id.min_dims();
             let spec = id.spec(w, h);
             let s = analyze(&spec.program);
             assert!(s.backward_branches >= 1, "{id} has loops");

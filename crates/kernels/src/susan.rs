@@ -93,7 +93,10 @@ fn recip_table() -> Vec<i32> {
 ///
 /// Panics if the frame is smaller than 3×3.
 pub fn spec(variant: Variant, width: usize, height: usize) -> KernelSpec {
-    assert!(width >= 3 && height >= 3, "susan needs at least a 3x3 frame");
+    assert!(
+        width >= 3 && height >= 3,
+        "susan needs at least a 3x3 frame"
+    );
     let p = variant.params();
     let n = width * height;
     let w = width as i32;

@@ -66,9 +66,7 @@ pub fn golden_bw(input: &[i32], width: usize, height: usize) -> Vec<i32> {
     let n = width * height;
     assert_eq!(input.len(), 3 * n, "input must hold 3 planes");
     (0..n)
-        .map(|i| {
-            ((77 * input[i] + 150 * input[n + i] + 29 * input[2 * n + i]) >> 8).clamp(0, 255)
-        })
+        .map(|i| ((77 * input[i] + 150 * input[n + i] + 29 * input[2 * n + i]) >> 8).clamp(0, 255))
         .collect()
 }
 
@@ -124,7 +122,7 @@ pub fn golden_rgba(input: &[i32], width: usize, height: usize) -> Vec<i32> {
             out.push(((input[plane * n + i] * ALPHA) >> 8).clamp(0, 255));
         }
     }
-    out.extend(std::iter::repeat(ALPHA).take(n));
+    out.extend(std::iter::repeat_n(ALPHA, n));
     out
 }
 
@@ -145,20 +143,14 @@ mod tests {
     fn bw_vm_matches_golden() {
         let rgb = RgbImage::synthetic(7, 6, 1);
         let frame = rgb.to_words();
-        assert_eq!(
-            run_vm(&spec_bw(7, 6), &frame),
-            golden_bw(&frame, 7, 6)
-        );
+        assert_eq!(run_vm(&spec_bw(7, 6), &frame), golden_bw(&frame, 7, 6));
     }
 
     #[test]
     fn rgba_vm_matches_golden() {
         let rgb = RgbImage::synthetic(5, 5, 2);
         let frame = rgb.to_words();
-        assert_eq!(
-            run_vm(&spec_rgba(5, 5), &frame),
-            golden_rgba(&frame, 5, 5)
-        );
+        assert_eq!(run_vm(&spec_rgba(5, 5), &frame), golden_rgba(&frame, 5, 5));
     }
 
     #[test]

@@ -101,6 +101,10 @@ impl RestoreOutcome {
 pub struct ApproximateBackupStore {
     policy: RetentionPolicy,
     snapshot: Option<Vec<u8>>,
+    /// Per-byte liveness of the current snapshot (`None` = all live).
+    live_mask: Option<Vec<bool>>,
+    /// Bytes actually written by the most recent backup.
+    backed_up_bytes: usize,
     rng: SmallRng,
     cumulative_failures: [u64; 8],
     backups_performed: u64,
@@ -113,6 +117,8 @@ impl ApproximateBackupStore {
         ApproximateBackupStore {
             policy,
             snapshot: None,
+            live_mask: None,
+            backed_up_bytes: 0,
             rng: SmallRng::seed_from_u64(seed),
             cumulative_failures: [0; 8],
             backups_performed: 0,
@@ -138,7 +144,38 @@ impl ApproximateBackupStore {
     /// Persists `data` as the current snapshot, replacing any prior one.
     pub fn backup(&mut self, data: &[u8]) {
         self.snapshot = Some(data.to_vec());
+        self.live_mask = None;
+        self.backed_up_bytes = data.len();
         self.backups_performed += 1;
+    }
+
+    /// Persists only the bytes of `data` marked live, replacing any prior
+    /// snapshot. Dead bytes are not written to NVM: they restore as zero,
+    /// cost no backup energy ([`backed_up_bytes`](Self::backed_up_bytes)
+    /// shrinks accordingly), and cannot suffer retention failures. Sound
+    /// whenever static backup-liveness proves the dead bytes are rewritten
+    /// before any read on every resume path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `live.len() != data.len()`.
+    pub fn backup_masked(&mut self, data: &[u8], live: &[bool]) {
+        assert_eq!(live.len(), data.len(), "liveness mask length mismatch");
+        let stored: Vec<u8> = data
+            .iter()
+            .zip(live)
+            .map(|(&b, &l)| if l { b } else { 0 })
+            .collect();
+        self.snapshot = Some(stored);
+        self.backed_up_bytes = live.iter().filter(|&&l| l).count();
+        self.live_mask = Some(live.to_vec());
+        self.backups_performed += 1;
+    }
+
+    /// Bytes actually written by the most recent backup (the live-backup
+    /// footprint; equals the snapshot length for unmasked backups).
+    pub fn backed_up_bytes(&self) -> usize {
+        self.backed_up_bytes
     }
 
     /// Energy required to back up `len` bytes under the current policy.
@@ -176,7 +213,14 @@ impl ApproximateBackupStore {
             }
         }
         if expired_mask != 0 {
-            for byte in data.iter_mut() {
+            for (i, byte) in data.iter_mut().enumerate() {
+                // Dead bytes were never written: nothing stored, nothing
+                // to decay.
+                if let Some(mask) = &self.live_mask {
+                    if !mask[i] {
+                        continue;
+                    }
+                }
                 for b in 0..8 {
                     if expired_mask & (1 << b) != 0 {
                         failures_by_bit[b as usize] += 1;
@@ -269,10 +313,7 @@ mod tests {
         let f1 = s.restore(Ticks(2000)).total_failures();
         s.backup(&[0u8; 10]);
         let f2 = s.restore(Ticks(2000)).total_failures();
-        assert_eq!(
-            s.cumulative_failures().iter().sum::<u64>(),
-            f1 + f2
-        );
+        assert_eq!(s.cumulative_failures().iter().sum::<u64>(), f1 + f2);
         assert_eq!(s.backups_performed(), 2);
         assert_eq!(s.restores_performed(), 2);
     }
@@ -287,7 +328,12 @@ mod tests {
             s.backup(&[0x3C; 32]);
             fails.push(s.restore(outage).total_failures());
         }
-        assert!(fails[0] > fails[1], "log {} !> parabola {}", fails[0], fails[1]);
+        assert!(
+            fails[0] > fails[1],
+            "log {} !> parabola {}",
+            fails[0],
+            fails[1]
+        );
     }
 
     #[test]
@@ -315,5 +361,44 @@ mod tests {
     #[should_panic(expected = "without a prior backup")]
     fn restore_without_backup_panics() {
         ApproximateBackupStore::new(RetentionPolicy::Linear, 0).restore(Ticks(1));
+    }
+
+    #[test]
+    fn masked_backup_shrinks_footprint_and_keeps_live_bytes() {
+        let mut s = ApproximateBackupStore::new(RetentionPolicy::FullRetention, 1);
+        let data = [0x11, 0x22, 0x33, 0x44];
+        let live = [true, false, true, false];
+        s.backup_masked(&data, &live);
+        assert_eq!(s.backed_up_bytes(), 2);
+        let m = SttRamModel::default();
+        // Charging only for the live footprint halves the backup energy.
+        let masked = s.backup_energy(&m, s.backed_up_bytes());
+        let full = s.backup_energy(&m, data.len());
+        assert!((masked.as_nj() - full.as_nj() / 2.0).abs() < 1e-12);
+        let out = s.restore(Ticks(1));
+        assert_eq!(out.data, vec![0x11, 0, 0x33, 0]);
+        assert_eq!(out.total_failures(), 0);
+        // A plain backup resets the mask.
+        s.backup(&data);
+        assert_eq!(s.backed_up_bytes(), 4);
+        assert_eq!(s.restore(Ticks(1)).data, data.to_vec());
+    }
+
+    #[test]
+    fn dead_bytes_cannot_fail_retention() {
+        // Long outage under Linear decays bits of live bytes only.
+        let run = |live: bool| {
+            let mut s = ApproximateBackupStore::new(RetentionPolicy::Linear, 7);
+            s.backup_masked(&[0xFF; 32], &[live; 32]);
+            s.restore(Ticks(1000)).total_failures()
+        };
+        assert!(run(true) > 0);
+        assert_eq!(run(false), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mask length mismatch")]
+    fn masked_backup_length_mismatch_panics() {
+        ApproximateBackupStore::new(RetentionPolicy::Linear, 0).backup_masked(&[1, 2], &[true]);
     }
 }

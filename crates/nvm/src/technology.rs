@@ -134,11 +134,7 @@ mod tests {
 
     #[test]
     fn feram_writes_cheapest_pcram_dearest() {
-        let e = |t: NvmTechnology| {
-            t.model()
-                .bit_write_energy(anchors::one_second())
-                .as_pj()
-        };
+        let e = |t: NvmTechnology| t.model().bit_write_energy(anchors::one_second()).as_pj();
         assert!(e(NvmTechnology::FeRam) < e(NvmTechnology::SttRam));
         assert!(e(NvmTechnology::SttRam) < e(NvmTechnology::Pcram));
     }
@@ -155,10 +151,7 @@ mod tests {
 
     #[test]
     fn zero_rate_means_infinite_lifetime() {
-        assert_eq!(
-            NvmTechnology::Pcram.lifetime_years(0.0),
-            f64::INFINITY
-        );
+        assert_eq!(NvmTechnology::Pcram.lifetime_years(0.0), f64::INFINITY);
     }
 
     #[test]

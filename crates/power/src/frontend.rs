@@ -201,7 +201,7 @@ impl EnergyStore {
             max_charge_power: Power::from_uw(150.0), // current-limited charger
             charge_efficiency: 0.80,
             discharge_efficiency: 0.90,
-            leak_fraction_per_tick: 2.0e-7, // ~0.17%/s at full
+            leak_fraction_per_tick: 2.0e-7,   // ~0.17%/s at full
             leak_floor: Energy::from_nj(0.3), // ≈3 µW self-discharge
         }
     }

@@ -106,7 +106,11 @@ impl OutageStats {
         if self.outages.is_empty() {
             return 0.0;
         }
-        self.outages.iter().map(|o| o.duration.0 as f64).sum::<f64>() / self.outages.len() as f64
+        self.outages
+            .iter()
+            .map(|o| o.duration.0 as f64)
+            .sum::<f64>()
+            / self.outages.len() as f64
     }
 
     /// Fraction of trace time spent in outage.

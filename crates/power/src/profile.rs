@@ -47,7 +47,7 @@ impl PowerProfile {
     /// A profile holding `n` ticks of constant power — useful for tests and
     /// for the ideal "wall-powered" baseline.
     pub fn constant(power: Power, n: Ticks) -> Self {
-        Self::from_uw(std::iter::repeat(power.as_uw()).take(n.0 as usize))
+        Self::from_uw(std::iter::repeat_n(power.as_uw(), n.0 as usize))
     }
 
     /// Number of samples (ticks).

@@ -393,27 +393,38 @@ mod tests {
     fn weaker_profiles_have_lower_income() {
         let p1 = WatchProfile::P1.synthesize_seconds(10.0).mean().as_uw();
         let p5 = WatchProfile::P5.synthesize_seconds(10.0).mean().as_uw();
-        assert!(p5 < p1, "profile 5 ({p5:.1}) should be weaker than 1 ({p1:.1})");
+        assert!(
+            p5 < p1,
+            "profile 5 ({p5:.1}) should be weaker than 1 ({p1:.1})"
+        );
     }
 
     #[test]
     fn validation_rejects_bad_params() {
-        let mut p = SynthParams::default();
-        p.long_idle_prob = 1.5;
+        let p = SynthParams {
+            long_idle_prob: 1.5,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SynthParams::default();
-        p.burst_amplitude_uw = -1.0;
+        let p = SynthParams {
+            burst_amplitude_uw: -1.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
-        let mut p = SynthParams::default();
-        p.peak_clamp_uw = 1.0;
+        let p = SynthParams {
+            peak_clamp_uw: 1.0,
+            ..Default::default()
+        };
         assert!(p.validate().is_err());
     }
 
     #[test]
     #[should_panic(expected = "invalid synthesizer parameters")]
     fn constructor_panics_on_invalid() {
-        let mut p = SynthParams::default();
-        p.mean_burst_ticks = 0.0;
+        let p = SynthParams {
+            mean_burst_ticks: 0.0,
+            ..Default::default()
+        };
         let _ = TraceSynthesizer::new(p, 0);
     }
 

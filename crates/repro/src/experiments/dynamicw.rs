@@ -64,7 +64,13 @@ pub fn fig19(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "fig19_dynamic_quality",
         "Figure 19 — QoS of dynamic bitwidth (median)",
-        &["profile", "dynamic MSE", "dynamic PSNR", "2-bit MSE", "2-bit PSNR"],
+        &[
+            "profile",
+            "dynamic MSE",
+            "dynamic PSNR",
+            "2-bit MSE",
+            "2-bit PSNR",
+        ],
     );
     for w in &WatchProfile::ALL[..3] {
         let dynq = score(scale, &dynamic_run(scale, *w, 1));

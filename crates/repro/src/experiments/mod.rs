@@ -16,7 +16,9 @@ pub mod visual;
 
 pub use dynamicw::{fig18, fig19, fig20, fig21};
 pub use nvmx::{fig4, fig5};
-pub use overall::{ablate_buffer, ablate_simd, backup_cost, fig28, fig9, frametime, table2, waitcompute};
+pub use overall::{
+    ablate_buffer, ablate_simd, backup_cost, fig28, fig9, frametime, table2, waitcompute,
+};
 pub use powerx::{fig2, fig3};
 pub use progress::{fig15, fig16};
 pub use quality::{fig12, fig14};
@@ -49,8 +51,10 @@ pub(crate) fn run_system(
     let (w, h) = dims(id, scale.img);
     let spec = id.spec(w, h);
     let frames = make_frames(id, scale);
-    let mut cfg = SystemConfig::default();
-    cfg.record_outputs = false;
+    let mut cfg = SystemConfig {
+        record_outputs: false,
+        ..Default::default()
+    };
     tweak(&mut cfg);
     let trace = profile.synthesize_seconds(scale.trace_seconds);
     SystemSim::new(spec, frames, mode, cfg).run(&trace)
@@ -68,8 +72,10 @@ pub(crate) fn run_system_on(
     let (w, h) = dims(id, scale.img);
     let spec = id.spec(w, h);
     let frames = make_frames(id, scale);
-    let mut cfg = SystemConfig::default();
-    cfg.record_outputs = false;
+    let mut cfg = SystemConfig {
+        record_outputs: false,
+        ..Default::default()
+    };
     tweak(&mut cfg);
     SystemSim::new(spec, frames, mode, cfg).run(trace)
 }

@@ -13,13 +13,7 @@ pub fn fig4() -> Vec<Table> {
     let mut t = Table::new(
         "fig4_sttram_write",
         "Figure 4 — STT-RAM write current (µA) vs pulse width",
-        &[
-            "pulse (ns)",
-            "10 ms",
-            "1 s",
-            "1 min",
-            "1 day",
-        ],
+        &["pulse (ns)", "10 ms", "1 s", "1 min", "1 day"],
     );
     for p in pulses {
         t.row([
@@ -30,7 +24,8 @@ pub fn fig4() -> Vec<Table> {
             fnum(m.write_current_ua(anchors::one_day(), p)),
         ]);
     }
-    let saving = 1.0 - m.bit_write_energy(anchors::ten_ms()) / m.bit_write_energy(anchors::one_day());
+    let saving =
+        1.0 - m.bit_write_energy(anchors::ten_ms()) / m.bit_write_energy(anchors::one_day());
     t.note(format!(
         "write-energy saving 1 day → 10 ms at optimal pulse: {:.0}% (paper: 77%)",
         saving * 100.0

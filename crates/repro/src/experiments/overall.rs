@@ -8,9 +8,7 @@ use incidental::{policy_for, table2 as tuned_policies, QosTarget, QualityReport}
 use nvp_kernels::{jpeg, quality, KernelId};
 use nvp_nvm::RetentionPolicy;
 use nvp_power::synth::WatchProfile;
-use nvp_sim::{
-    instructions_per_frame, ExecMode, IncidentalSetup, RunReport, WaitComputeSim,
-};
+use nvp_sim::{instructions_per_frame, ExecMode, IncidentalSetup, RunReport, WaitComputeSim};
 
 /// Figure 9: system-on time and forward progress for the four NVP variants
 /// on power profile 2 (median kernel, Figure 8's pragma settings).
@@ -55,7 +53,9 @@ pub fn fig9(scale: Scale) -> Vec<Table> {
         ]);
     }
     t.note("paper: on-time 42% (8-bit), 38.7% (a1,b), 16% (a2,b), 3% (4-SIMD);");
-    t.note("(a1,b) retires the most instruction issues; its FP is 3.7x once incidental lanes count");
+    t.note(
+        "(a1,b) retires the most instruction issues; its FP is 3.7x once incidental lanes count",
+    );
     t.note("4-SIMD batches four equal-age frames: high lane-weighted FP but the worst responsiveness (lowest on-time)");
     vec![t]
 }
@@ -76,7 +76,9 @@ pub fn waitcompute(scale: Scale) -> Vec<Table> {
     for wp in WatchProfile::ALL {
         let trace = wp.synthesize_seconds(scale.trace_seconds);
         let nvp = run_system(id, scale, wp, ExecMode::Precise, |_| {}).forward_progress;
-        let wc = WaitComputeSim::new(frame_instr).run(&trace).forward_progress;
+        let wc = WaitComputeSim::new(frame_instr)
+            .run(&trace)
+            .forward_progress;
         let cell = if wc == 0 {
             "inf (WC starved)".to_string()
         } else {
@@ -123,7 +125,11 @@ pub fn frametime(scale: Scale) -> Vec<Table> {
         &["kernel", "wait-compute", "precise NVP", "incidental NVP"],
     );
     let trace = WatchProfile::P1.synthesize_seconds(scale.trace_seconds);
-    for id in [KernelId::SusanCorners, KernelId::SusanEdges, KernelId::JpegEncode] {
+    for id in [
+        KernelId::SusanCorners,
+        KernelId::SusanEdges,
+        KernelId::JpegEncode,
+    ] {
         let (w, h) = dims(id, scale.img);
         let spec = id.spec(w, h);
         let input = id.make_input(w, h, 1);
@@ -222,7 +228,10 @@ pub fn fig28(scale: Scale, ablate: bool) -> Vec<Table> {
                 |_| {},
             )
             .forward_progress;
-            cells.push(format!("{}x", fnum(backup_only as f64 / base.max(1) as f64)));
+            cells.push(format!(
+                "{}x",
+                fnum(backup_only as f64 / base.max(1) as f64)
+            ));
             cells.push(format!("{}x", fnum(simd_only as f64 / base.max(1) as f64)));
         }
         t.row(cells);
@@ -271,12 +280,19 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             QosTarget::PsnrDb(target) => {
                 let q = QualityReport::score(id, w, h, &frames, &rep);
                 let psnr = q.mean_psnr();
-                (format!("{} dB", fnum(psnr)), psnr >= target || q.frames.is_empty())
+                (
+                    format!("{} dB", fnum(psnr)),
+                    psnr >= target || q.frames.is_empty(),
+                )
             }
             QosTarget::SizeInflation(target) => {
                 let (mean_inflation, frac_met) = jpeg_inflation(&frames, w, h, &rep, target);
                 (
-                    format!("{} size, {}% frames ok", fnum(mean_inflation), fnum(frac_met * 100.0)),
+                    format!(
+                        "{} size, {}% frames ok",
+                        fnum(mean_inflation),
+                        fnum(frac_met * 100.0)
+                    ),
                     frac_met >= 0.9,
                 )
             }
@@ -333,7 +349,12 @@ pub fn ablate_simd(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "ablate_simd_width",
         "Ablation — incidental SIMD width cap (median, profile 1)",
-        &["max lanes", "forward progress", "merges", "incidental frames"],
+        &[
+            "max lanes",
+            "forward progress",
+            "merges",
+            "incidental frames",
+        ],
     );
     for lanes in [1u8, 2, 4] {
         let rep = run_system(
@@ -362,7 +383,12 @@ pub fn ablate_buffer(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "ablate_buffer_depth",
         "Ablation — resume-point buffer depth (median, profile 5, 30 ms deadline)",
-        &["park slots", "forward progress", "merges", "abandoned frames"],
+        &[
+            "park slots",
+            "forward progress",
+            "merges",
+            "abandoned frames",
+        ],
     );
     for slots in [1u8, 2, 3] {
         // A weak profile with an aggressive data deadline forces frequent

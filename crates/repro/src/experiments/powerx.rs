@@ -50,9 +50,15 @@ pub fn fig3(scale: Scale) -> Vec<Table> {
         &["metric", "value"],
     );
     summary.row(["outage count".into(), stats.count().to_string()]);
-    summary.row(["median duration (ticks)".into(), stats.median_duration().0.to_string()]);
+    summary.row([
+        "median duration (ticks)".into(),
+        stats.median_duration().0.to_string(),
+    ]);
     summary.row(["mean duration (ticks)".into(), fnum(stats.mean_duration())]);
-    summary.row(["max duration (ticks)".into(), stats.max_duration().0.to_string()]);
+    summary.row([
+        "max duration (ticks)".into(),
+        stats.max_duration().0.to_string(),
+    ]);
     summary.note("paper: most outages last a few ms; tail reaches ~3000 ticks (0.3 s)");
 
     let mut hist = Table::new(

@@ -37,7 +37,14 @@ pub fn fig15(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "fig15_fp_vs_bits",
         "Figure 15 — forward progress vs reliable bits (median)",
-        &["bits", "profile 1", "profile 2", "profile 3", "profile 4", "profile 5"],
+        &[
+            "bits",
+            "profile 1",
+            "profile 2",
+            "profile 3",
+            "profile 4",
+            "profile 5",
+        ],
     );
     for (i, bits) in (1..=8u8).rev().enumerate() {
         let cells: Vec<String> = std::iter::once(bits.to_string())
@@ -63,7 +70,14 @@ pub fn fig16(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "fig16_backups_vs_bits",
         "Figure 16 — number of backups vs reliable bits (median)",
-        &["bits", "profile 1", "profile 2", "profile 3", "profile 4", "profile 5"],
+        &[
+            "bits",
+            "profile 1",
+            "profile 2",
+            "profile 3",
+            "profile 4",
+            "profile 5",
+        ],
     );
     for (i, bits) in (1..=8u8).rev().enumerate() {
         let cells: Vec<String> = std::iter::once(bits.to_string())

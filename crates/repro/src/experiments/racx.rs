@@ -19,19 +19,22 @@ pub fn fig27(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "fig27_recompute",
         "Figure 27 — PSNR (dB) vs recomputation passes (median, higherbits merge)",
-        &[
-            "passes",
-            "minbits 1",
-            "minbits 2",
-            "minbits 4",
-            "minbits 6",
-        ],
+        &["passes", "minbits 1", "minbits 2", "minbits 4", "minbits 6"],
     );
     let series: Vec<Vec<f64>> = [1u8, 2, 4, 6]
         .iter()
         .map(|&mb| {
-            recompute_and_combine(id, w, h, &input, mb, passes, MergeMode::HigherBits, &profile)
-                .psnr_after_pass
+            recompute_and_combine(
+                id,
+                w,
+                h,
+                &input,
+                mb,
+                passes,
+                MergeMode::HigherBits,
+                &profile,
+            )
+            .psnr_after_pass
         })
         .collect();
     for p in 0..passes {

@@ -58,7 +58,9 @@ pub fn fig24(scale: Scale) -> Vec<Table> {
     let mut t = Table::new(
         "fig24_retention_quality",
         "Figures 23–24 — MSE / PSNR vs retention policy (median)",
-        &["policy", "p1 MSE", "p2 MSE", "p3 MSE", "p1 PSNR", "p2 PSNR", "p3 PSNR"],
+        &[
+            "policy", "p1 MSE", "p2 MSE", "p3 MSE", "p1 PSNR", "p2 PSNR", "p3 PSNR",
+        ],
     );
     let (wd, hd) = dims(KERNEL, scale.img);
     let frames = make_frames(KERNEL, scale);

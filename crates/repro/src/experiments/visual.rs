@@ -53,8 +53,10 @@ pub fn images(scale: Scale, dir: &Path) -> std::io::Result<Vec<Table>> {
     let id = KernelId::Median;
     let (w, h) = dims(id, img_edge);
     for wp in &WatchProfile::ALL[..3] {
-        let mut cfg = SystemConfig::default();
-        cfg.frames_limit = Some(1);
+        let cfg = SystemConfig {
+            frames_limit: Some(1),
+            ..Default::default()
+        };
         let rep = SystemSim::new(
             id.spec(w, h),
             vec![id.make_input(w, h, 0x17)],
@@ -77,34 +79,33 @@ pub fn images(scale: Scale, dir: &Path) -> std::io::Result<Vec<Table>> {
     // Figure 26 left: retention policies; right: recomputation passes.
     let input = id.make_input(w, h, 0x26);
     for policy in RetentionPolicy::SHAPED {
-        let mut cfg = SystemConfig::default();
-        cfg.backup_policy = policy;
-        cfg.frames_limit = Some(1);
-        let rep = SystemSim::new(
-            id.spec(w, h),
-            vec![input.clone()],
-            ExecMode::Precise,
-            cfg,
-        )
-        .run(&WatchProfile::P2.synthesize_seconds(scale.trace_seconds.max(3.0)));
+        let cfg = SystemConfig {
+            backup_policy: policy,
+            frames_limit: Some(1),
+            ..Default::default()
+        };
+        let rep = SystemSim::new(id.spec(w, h), vec![input.clone()], ExecMode::Precise, cfg)
+            .run(&WatchProfile::P2.synthesize_seconds(scale.trace_seconds.max(3.0)));
         if let Some(frame) = rep.committed.iter().find(|c| !c.output.is_empty()) {
             let f = save(dir, &format!("fig26_median_{policy}"), w, h, &frame.output)?;
-            t.row(["fig 26".into(), f, format!("median, {policy} retention, profile 2")]);
+            t.row([
+                "fig 26".into(),
+                f,
+                format!("median, {policy} retention, profile 2"),
+            ]);
         }
     }
     let profile = WatchProfile::P1.synthesize_seconds(scale.trace_seconds.max(3.0));
     for passes in [1usize, 2, 4, 8] {
-        let out = recompute_and_combine(
-            id,
+        let out =
+            recompute_and_combine(id, w, h, &input, 2, passes, MergeMode::HigherBits, &profile);
+        let f = save(
+            dir,
+            &format!("fig26_recompute_{passes}pass"),
             w,
             h,
-            &input,
-            2,
-            passes,
-            MergeMode::HigherBits,
-            &profile,
-        );
-        let f = save(dir, &format!("fig26_recompute_{passes}pass"), w, h, &out.merged)?;
+            &out.merged,
+        )?;
         t.row([
             "fig 26".into(),
             f,

@@ -30,12 +30,18 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig24", "quality vs retention policy (covers figs 23-24)"),
     ("fig25", "FP improvement from retention shaping"),
     ("fig27", "recompute-and-combine (covers figs 26-27)"),
-    ("fig28", "overall incidental FP gain (add --ablate for breakdown)"),
+    (
+        "fig28",
+        "overall incidental FP gain (add --ablate for breakdown)",
+    ),
     ("table2", "fine-tuned QoS policies"),
     ("waitcompute", "Section 2.2 NVP vs wait-compute"),
     ("backup-cost", "Section 3.2 backup rate and energy share"),
     ("frametime", "Section 7 seconds per frame"),
-    ("images", "PGM dumps of the visual figures 11/13/17/26 (use --out DIR)"),
+    (
+        "images",
+        "PGM dumps of the visual figures 11/13/17/26 (use --out DIR)",
+    ),
     ("ablate-simd", "ablation: SIMD width cap"),
     ("ablate-buffer", "ablation: resume-buffer depth"),
 ];

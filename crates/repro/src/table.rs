@@ -161,7 +161,7 @@ mod tests {
     #[test]
     fn fnum_ranges() {
         assert_eq!(fnum(0.0), "0");
-        assert_eq!(fnum(3.14159), "3.14");
+        assert_eq!(fnum(3.145_9), "3.15");
         assert_eq!(fnum(42.123), "42.1");
         assert_eq!(fnum(12345.6), "12346");
         assert_eq!(fnum(f64::INFINITY), "inf");

@@ -142,12 +142,33 @@ impl EnergyModel {
     ///
     /// Panics if `data_bits` is outside `1..=8`.
     pub fn backup_energy(&self, policy: RetentionPolicy, data_bits: u8) -> Energy {
+        self.backup_energy_scoped(policy, data_bits, 1.0)
+    }
+
+    /// [`backup_energy`](Self::backup_energy) with only a `data_fraction`
+    /// of the data words written (live-only backup scope: dead state need
+    /// not be persisted). Control state is always written in full.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data_bits` is outside `1..=8` or `data_fraction` outside
+    /// `0.0..=1.0`.
+    pub fn backup_energy_scoped(
+        &self,
+        policy: RetentionPolicy,
+        data_bits: u8,
+        data_fraction: f64,
+    ) -> Energy {
         assert!(
             (1..=WORD_BITS).contains(&data_bits),
             "data_bits must be 1..=8"
         );
+        assert!(
+            (0.0..=1.0).contains(&data_fraction),
+            "data_fraction must be 0..=1"
+        );
         let ctrl_words = self.state_words as f64 * self.control_fraction;
-        let data_words = self.state_words as f64 - ctrl_words;
+        let data_words = (self.state_words as f64 - ctrl_words) * data_fraction;
         let full_bit = self.bit_energy(RetentionPolicy::FullRetention.retention_ticks(8));
         let ctrl = full_bit * (8.0 * ctrl_words);
         // Data words persist their top `data_bits` bits: bit index b runs
@@ -195,8 +216,10 @@ mod tests {
     #[test]
     fn simd_lanes_amortize_fetch() {
         let m = EnergyModel::default();
-        let mut four = ApproxConfig::default();
-        four.lanes = 4;
+        let four = ApproxConfig {
+            lanes: 4,
+            ..Default::default()
+        };
         let e1 = m.instr_energy(InstrClass::Alu, &ApproxConfig::default());
         let e4 = m.instr_energy(InstrClass::Alu, &four);
         // 4 lanes cost far less than 4 independent instructions.

@@ -35,5 +35,7 @@ pub mod waitcompute;
 pub use energy::EnergyModel;
 pub use governor::Governor;
 pub use quickrun::{instructions_per_frame, run_fixed};
-pub use system::{CommittedFrame, ExecMode, IncidentalSetup, RunReport, SystemConfig, SystemSim};
+pub use system::{
+    BackupScope, CommittedFrame, ExecMode, IncidentalSetup, RunReport, SystemConfig, SystemSim,
+};
 pub use waitcompute::{WaitComputeReport, WaitComputeSim};

@@ -64,8 +64,14 @@ mod tests {
         let spec = id.spec(16, 16);
         let input = id.make_input(16, 16, 5);
         let golden = id.golden(&input, 16, 16);
-        let m7 = mse(&golden, &run_fixed(&spec, &input, ApproxConfig::alu_only(7), 2));
-        let m1 = mse(&golden, &run_fixed(&spec, &input, ApproxConfig::alu_only(1), 2));
+        let m7 = mse(
+            &golden,
+            &run_fixed(&spec, &input, ApproxConfig::alu_only(7), 2),
+        );
+        let m1 = mse(
+            &golden,
+            &run_fixed(&spec, &input, ApproxConfig::alu_only(1), 2),
+        );
         assert!(m1 > m7, "1-bit MSE {m1} should exceed 7-bit {m7}");
     }
 

@@ -62,7 +62,10 @@ impl ResumeController {
     ///
     /// Panics unless `1 <= capacity <= 3`.
     pub fn with_capacity(loop_var_mask: u16, capacity: usize) -> Self {
-        assert!((1..=PARK_SLOTS).contains(&capacity), "capacity must be 1..=3");
+        assert!(
+            (1..=PARK_SLOTS).contains(&capacity),
+            "capacity must be 1..=3"
+        );
         ResumeController {
             pending: VecDeque::new(),
             loop_var_mask,
@@ -123,7 +126,12 @@ impl ResumeController {
     /// Removes and returns up to `max` parked frames whose PC matches and
     /// whose masked loop variables equal the live lane's registers (the
     /// bit-vector + compiler-mask check of Section 4).
-    pub fn take_matches(&mut self, pc: usize, live_regs: &[i32; 16], max: usize) -> Vec<PendingFrame> {
+    pub fn take_matches(
+        &mut self,
+        pc: usize,
+        live_regs: &[i32; 16],
+        max: usize,
+    ) -> Vec<PendingFrame> {
         let mut out = Vec::new();
         let mut i = 0;
         while i < self.pending.len() && out.len() < max {

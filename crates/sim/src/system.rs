@@ -12,6 +12,7 @@
 use crate::energy::EnergyModel;
 use crate::governor::Governor;
 use crate::resume::{PendingFrame, ResumeController, PARK_SLOTS};
+use nvp_analysis::BackupLiveness;
 use nvp_isa::approx::FULL_BITS;
 use nvp_isa::{ApproxConfig, StepEvent, Vm};
 use nvp_kernels::KernelSpec;
@@ -136,6 +137,9 @@ pub struct RunReport {
     pub energy_compute: Energy,
     /// Energy spent on backups.
     pub energy_backup: Energy,
+    /// Backup energy avoided by [`BackupScope::LiveOnly`] (difference to
+    /// what the same backups would have cost at full scope).
+    pub energy_backup_saved: Energy,
     /// Energy spent on restores.
     pub energy_restore: Energy,
     /// Ticks at each live-lane bitwidth; index 0 counts off-ticks
@@ -183,6 +187,20 @@ impl RunReport {
     }
 }
 
+/// How much architectural state a backup persists.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum BackupScope {
+    /// Persist the full state image regardless of what is live.
+    #[default]
+    FullState,
+    /// Persist only state that static backup-liveness analysis
+    /// ([`nvp_analysis::BackupLiveness`]) proves may still be read at the
+    /// interruption point. Dead state is rewritten before any read on
+    /// every path, so skipping it cannot change execution; the data-word
+    /// portion of the backup cost scales with the live fraction.
+    LiveOnly,
+}
+
 /// System configuration (capacitor, thresholds, energy model, policy).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct SystemConfig {
@@ -196,6 +214,8 @@ pub struct SystemConfig {
     pub energy: EnergyModel,
     /// Retention policy for backups / marked data.
     pub backup_policy: RetentionPolicy,
+    /// How much state each backup persists.
+    pub backup_scope: BackupScope,
     /// Hysteresis: the start threshold requires enough energy beyond the
     /// reserve to run the configured datapath for this many ticks. Cheap
     /// (narrow/roll-back) configurations therefore restart sooner *and*
@@ -228,6 +248,7 @@ impl Default for SystemConfig {
             rectifier: Rectifier::default(),
             energy: EnergyModel::default(),
             backup_policy: RetentionPolicy::FullRetention,
+            backup_scope: BackupScope::default(),
             run_quantum_ticks: 400,
             reserve_safety: 1.1,
             incidental_backup_factor: 1.5,
@@ -265,6 +286,8 @@ pub struct SystemSim {
     /// Tick at which the live frame's data was loaded (staleness clock).
     live_loaded_at: u64,
     backup_cost_by_bits: [Energy; 9],
+    /// Per-pc live register sets (drives `BackupScope::LiveOnly`).
+    backup_liveness: BackupLiveness,
     rng: SmallRng,
     report: RunReport,
 }
@@ -296,6 +319,7 @@ impl SystemSim {
         let controller =
             ResumeController::with_capacity(spec.program.loop_var_mask(), cfg.park_slots as usize);
         let rng = SmallRng::seed_from_u64(cfg.seed);
+        let backup_liveness = BackupLiveness::compute(&spec.program);
         SystemSim {
             spec,
             frames,
@@ -311,6 +335,7 @@ impl SystemSim {
             outage_start: 0,
             live_loaded_at: 0,
             backup_cost_by_bits,
+            backup_liveness,
             rng,
             report: RunReport::default(),
         }
@@ -327,18 +352,16 @@ impl SystemSim {
             ExecMode::Precise => ApproxConfig::default(),
             ExecMode::Fixed(c) => c,
             ExecMode::Dynamic(g) => ApproxConfig::fixed(g.minbits),
-            ExecMode::Simd4 => {
-                let mut c = ApproxConfig::default();
-                c.lanes = 4;
-                c
-            }
-            ExecMode::Incidental(s) => {
-                let mut c = ApproxConfig::default();
-                c.ac_en = true;
-                c.lanes = 2;
-                c.alu_bits = [8, s.minbits, s.minbits, s.minbits];
-                c
-            }
+            ExecMode::Simd4 => ApproxConfig {
+                lanes: 4,
+                ..Default::default()
+            },
+            ExecMode::Incidental(s) => ApproxConfig {
+                ac_en: true,
+                lanes: 2,
+                alu_bits: [8, s.minbits, s.minbits, s.minbits],
+                ..Default::default()
+            },
         }
     }
 
@@ -374,7 +397,10 @@ impl SystemSim {
     }
 
     fn approx_span(&self) -> (usize, usize) {
-        (self.spec.input.start as usize, self.spec.output.end as usize)
+        (
+            self.spec.input.start as usize,
+            self.spec.output.end as usize,
+        )
     }
 
     fn input_frame(&self, index: u64) -> &[i32] {
@@ -398,8 +424,10 @@ impl SystemSim {
         self.live_loaded_at = self.outage_start;
         match self.mode {
             ExecMode::Simd4 => {
-                let mut c = ApproxConfig::default();
-                c.lanes = 4;
+                let c = ApproxConfig {
+                    lanes: 4,
+                    ..Default::default()
+                };
                 self.vm.set_approx(c);
                 for v in 0..4 {
                     self.load_frame(self.next_input + v as u64, v);
@@ -458,7 +486,27 @@ impl SystemSim {
     }
 
     fn do_backup(&mut self, tick: u64) {
-        let cost = self.backup_cost();
+        let full = self.backup_cost();
+        let cost = match self.cfg.backup_scope {
+            BackupScope::FullState => full,
+            BackupScope::LiveOnly => {
+                // Scale the data-word portion of the backup by the live
+                // register fraction at the interruption point. The reserve
+                // is still sized for the full cost, so the scoped cost
+                // always fits (`scoped <= full`).
+                let frac = self.backup_liveness.live_fraction(self.vm.pc());
+                let bits = self.live_data_bits().clamp(1, FULL_BITS);
+                let mut scoped =
+                    self.cfg
+                        .energy
+                        .backup_energy_scoped(self.cfg.backup_policy, bits, frac);
+                if self.is_incidental() {
+                    scoped = scoped * self.cfg.incidental_backup_factor;
+                }
+                self.report.energy_backup_saved += full - scoped;
+                scoped
+            }
+        };
         self.cap.drain_up_to(cost);
         self.report.energy_backup += cost;
         self.report.backups += 1;
@@ -599,8 +647,7 @@ impl SystemSim {
         let versions: Vec<usize> = if self.is_incidental() {
             // Parked planes and the still-active lanes both sit in NVM
             // during the outage.
-            let mut v: Vec<usize> =
-                (0..self.vm.approx().lanes as usize).collect();
+            let mut v: Vec<usize> = (0..self.vm.approx().lanes as usize).collect();
             v.extend(self.controller.pending().map(|p| p.version));
             v.sort_unstable();
             v.dedup();
@@ -817,7 +864,11 @@ mod tests {
         let golden0 = id.golden(&frames[0], 8, 8);
         let sim = SystemSim::new(spec, frames, ExecMode::Precise, SystemConfig::default());
         let rep = sim.run(&steady(500.0, 5.0));
-        assert!(rep.frames_committed >= 2, "committed {}", rep.frames_committed);
+        assert!(
+            rep.frames_committed >= 2,
+            "committed {}",
+            rep.frames_committed
+        );
         assert_eq!(rep.backups, 0, "steady power must not back up");
         let first = &rep.outputs_for(0)[0];
         assert_eq!(first.output, golden0);
@@ -835,8 +886,10 @@ mod tests {
             .map(|i| if i % 150 < 12 { 800.0 } else { 0.0 })
             .collect();
         let profile = PowerProfile::from_uw(pattern);
-        let mut cfg = SystemConfig::default();
-        cfg.frames_limit = Some(1);
+        let cfg = SystemConfig {
+            frames_limit: Some(1),
+            ..Default::default()
+        };
         let sim = SystemSim::new(spec, frames, ExecMode::Precise, cfg);
         let rep = sim.run(&profile);
         assert!(rep.backups > 0, "bursty power must cause emergencies");
@@ -852,8 +905,10 @@ mod tests {
         let frames = small_frames(id, 8, 8, 1);
         let profile = nvp_power::synth::WatchProfile::P1.synthesize_seconds(2.0);
         let fp_at = |bits: u8| {
-            let mut cfg = SystemConfig::default();
-            cfg.record_outputs = false;
+            let cfg = SystemConfig {
+                record_outputs: false,
+                ..Default::default()
+            };
             let sim = SystemSim::new(
                 id.spec(8, 8),
                 frames.clone(),
@@ -896,6 +951,49 @@ mod tests {
     }
 
     #[test]
+    fn live_only_backup_scope_saves_energy_same_results() {
+        // Same kernel, same bursty power, full retention, Precise mode:
+        // LiveOnly must commit the identical (golden) output while
+        // spending strictly less backup energy.
+        let id = KernelId::Median;
+        let run = |scope: BackupScope| {
+            let spec = id.spec(16, 16);
+            let frames = small_frames(id, 16, 16, 1);
+            let pattern: Vec<f64> = (0..100_000)
+                .map(|i| if i % 150 < 12 { 800.0 } else { 0.0 })
+                .collect();
+            let cfg = SystemConfig {
+                frames_limit: Some(1),
+                backup_scope: scope,
+                ..Default::default()
+            };
+            let sim = SystemSim::new(spec, frames, ExecMode::Precise, cfg);
+            sim.run(&PowerProfile::from_uw(pattern))
+        };
+        let full = run(BackupScope::FullState);
+        let live = run(BackupScope::LiveOnly);
+        assert!(full.backups > 0, "need emergencies to compare scopes");
+        assert!(live.backups > 0);
+        assert_eq!(
+            full.outputs_for(0)[0].output,
+            live.outputs_for(0)[0].output,
+            "backup scope must not change committed results"
+        );
+        assert_eq!(
+            live.outputs_for(0)[0].output,
+            id.golden(&small_frames(id, 16, 16, 1)[0], 16, 16)
+        );
+        assert_eq!(full.energy_backup_saved, Energy::ZERO);
+        assert!(live.energy_backup_saved > Energy::ZERO);
+        let avg_full = full.energy_backup.as_nj() / full.backups as f64;
+        let avg_live = live.energy_backup.as_nj() / live.backups as f64;
+        assert!(
+            avg_live < avg_full,
+            "live-only backups must be cheaper on average: {avg_live} !< {avg_full}"
+        );
+    }
+
+    #[test]
     fn retention_policy_records_failures() {
         let id = KernelId::Median;
         let spec = id.spec(8, 8);
@@ -905,8 +1003,10 @@ mod tests {
             .map(|i| if i % 700 < 60 { 800.0 } else { 0.0 })
             .collect();
         let profile = PowerProfile::from_uw(pattern);
-        let mut cfg = SystemConfig::default();
-        cfg.backup_policy = RetentionPolicy::Linear;
+        let cfg = SystemConfig {
+            backup_policy: RetentionPolicy::Linear,
+            ..Default::default()
+        };
         let sim = SystemSim::new(spec, frames, ExecMode::Precise, cfg);
         let rep = sim.run(&profile);
         assert!(rep.total_retention_failures() > 0);
@@ -920,8 +1020,10 @@ mod tests {
         let frames = small_frames(id, 8, 8, 8);
         let profile = nvp_power::synth::WatchProfile::P2.synthesize_seconds(3.0);
         let run = |mode| {
-            let mut cfg = SystemConfig::default();
-            cfg.record_outputs = false;
+            let cfg = SystemConfig {
+                record_outputs: false,
+                ..Default::default()
+            };
             SystemSim::new(id.spec(8, 8), frames.clone(), mode, cfg).run(&profile)
         };
         let precise = run(ExecMode::Precise);
@@ -939,8 +1041,10 @@ mod tests {
         let id = KernelId::Sobel;
         let frames = small_frames(id, 8, 8, 2);
         let profile = nvp_power::synth::WatchProfile::P1.synthesize_seconds(2.0);
-        let mut cfg = SystemConfig::default();
-        cfg.record_outputs = false;
+        let cfg = SystemConfig {
+            record_outputs: false,
+            ..Default::default()
+        };
         let sim = SystemSim::new(
             id.spec(8, 8),
             frames,
@@ -960,8 +1064,10 @@ mod tests {
     fn frames_limit_stops_early() {
         let id = KernelId::Tiff2Bw;
         let frames = small_frames(id, 8, 8, 1);
-        let mut cfg = SystemConfig::default();
-        cfg.frames_limit = Some(3);
+        let cfg = SystemConfig {
+            frames_limit: Some(3),
+            ..Default::default()
+        };
         let sim = SystemSim::new(id.spec(8, 8), frames, ExecMode::Precise, cfg);
         let rep = sim.run(&steady(800.0, 10.0));
         assert_eq!(rep.frames_committed, 3);

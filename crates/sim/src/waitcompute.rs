@@ -109,9 +109,8 @@ impl WaitComputeSim {
             self.store.leak_tick();
         }
         if rep.frames_completed > 0 {
-            rep.seconds_per_frame = Some(
-                Ticks(rep.total_ticks).as_seconds() / rep.frames_completed as f64,
-            );
+            rep.seconds_per_frame =
+                Some(Ticks(rep.total_ticks).as_seconds() / rep.frames_completed as f64);
         }
         rep
     }
@@ -157,8 +156,10 @@ mod tests {
 
         let wc = WaitComputeSim::new(frame_instr).run(&profile);
 
-        let mut cfg = SystemConfig::default();
-        cfg.record_outputs = false;
+        let cfg = SystemConfig {
+            record_outputs: false,
+            ..Default::default()
+        };
         let nvp = SystemSim::new(spec, vec![input], ExecMode::Precise, cfg).run(&profile);
 
         assert!(

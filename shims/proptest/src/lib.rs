@@ -1,0 +1,268 @@
+//! Offline shim for `proptest`.
+//!
+//! The build container cannot reach crates.io, so this crate provides the
+//! subset of the proptest API the workspace uses: the [`proptest!`] macro
+//! (with `name in strategy` and `name: Type` parameters and an optional
+//! `#![proptest_config(..)]` header), [`prelude::any`], integer/float
+//! range strategies, [`collection::vec`], and the `prop_assert*` macros.
+//!
+//! Unlike the real proptest there is **no shrinking** and no failure
+//! persistence: each test simply runs `cases` deterministic random samples
+//! (seeded from the test name) and panics on the first failing case,
+//! printing the sampled values via the assertion message.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::SmallRng;
+pub use rand::{Rng, SeedableRng};
+
+/// Runner configuration (`ProptestConfig` in real proptest).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases each test executes.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// The deterministic RNG threaded through strategy sampling.
+pub type TestRng = SmallRng;
+
+/// Builds the per-test RNG from the test's name (FNV-1a over the bytes),
+/// so every test explores an independent but reproducible stream.
+pub fn rng_for(test_name: &str) -> TestRng {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    SmallRng::seed_from_u64(h)
+}
+
+/// A source of random values of one type (`proptest::strategy::Strategy`).
+pub trait Strategy {
+    /// The value type this strategy produces.
+    type Value;
+    /// Samples one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_int_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Strategy for core::ops::Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Types with a canonical whole-domain strategy (`proptest::arbitrary`).
+pub trait Arbitrary: Sized {
+    /// Samples one arbitrary value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.gen::<$t>()
+            }
+        }
+    )*};
+}
+
+impl_arbitrary!(bool, u8, u16, u32, u64, i16, i32, i64, f32, f64);
+
+/// The strategy returned by [`prelude::any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(pub core::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// Collection strategies (`proptest::collection`).
+pub mod collection {
+    use super::{Rng, Strategy, TestRng};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        elem: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A vector of `len` elements sampled from `elem` (the real crate's
+    /// `proptest::collection::vec`).
+    pub fn vec<S: Strategy>(elem: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { elem, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.len.clone());
+            (0..n).map(|_| self.elem.sample(rng)).collect()
+        }
+    }
+}
+
+/// Everything a `use proptest::prelude::*;` expects to find.
+pub mod prelude {
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+    pub use crate::{Any, ProptestConfig, Strategy};
+
+    /// The whole-domain strategy for `T` (`proptest::prelude::any`).
+    pub fn any<T: crate::Arbitrary>() -> Any<T> {
+        Any(core::marker::PhantomData)
+    }
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => { assert!($cond) };
+    ($cond:expr, $($fmt:tt)*) => { assert!($cond, $($fmt)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => { assert_eq!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_eq!($a, $b, $($fmt)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($a:expr, $b:expr) => { assert_ne!($a, $b) };
+    ($a:expr, $b:expr, $($fmt:tt)*) => { assert_ne!($a, $b, $($fmt)*) };
+}
+
+/// Declares property tests: each `fn name(params) { body }` becomes a
+/// `#[test]` running `cases` sampled executions of the body.
+///
+/// Parameters take either form `name in strategy` or `name: Type`
+/// (shorthand for `name in any::<Type>()`).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! { ($crate::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal: expands each property function (used by [`proptest!`]).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_fns {
+    (($cfg:expr); ) => {};
+    (($cfg:expr); $(#[$meta:meta])* fn $name:ident($($params:tt)*) $body:block $($rest:tt)*) => {
+        $(#[$meta])*
+        fn $name() {
+            let __cfg: $crate::ProptestConfig = $cfg;
+            let mut __rng = $crate::rng_for(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__cfg.cases {
+                $crate::__proptest_bind! { __rng; $($params)* }
+                $body
+            }
+        }
+        $crate::__proptest_fns! { ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: binds one parameter list entry at a time (used by
+/// [`proptest!`]).
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $v:ident in $strat:expr) => {
+        let $v = $crate::Strategy::sample(&($strat), &mut $rng);
+    };
+    ($rng:ident; $v:ident in $strat:expr, $($rest:tt)*) => {
+        let $v = $crate::Strategy::sample(&($strat), &mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+    ($rng:ident; $v:ident : $t:ty) => {
+        let $v: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $v:ident : $t:ty, $($rest:tt)*) => {
+        let $v: $t = $crate::Arbitrary::arbitrary(&mut $rng);
+        $crate::__proptest_bind! { $rng; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(v in -50i32..50, b in 1u8..=8) {
+            prop_assert!((-50..50).contains(&v));
+            prop_assert!((1..=8).contains(&b));
+        }
+
+        #[test]
+        fn typed_params_sample(x: u32, y: i16) {
+            let _ = (x, y);
+        }
+
+        #[test]
+        fn vectors_respect_length(data in crate::collection::vec(any::<u8>(), 1..16)) {
+            prop_assert!(!data.is_empty() && data.len() < 16);
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(5))]
+        #[test]
+        fn config_header_accepted(v in 0u64..10) {
+            prop_assert!(v < 10);
+        }
+    }
+
+    #[test]
+    fn deterministic_rng_per_name() {
+        use crate::Rng;
+        let mut a = crate::rng_for("x");
+        let mut b = crate::rng_for("x");
+        assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+    }
+}

@@ -1,0 +1,35 @@
+//! Offline shim for `serde`.
+//!
+//! The build container cannot reach crates.io, so this crate stands in for
+//! the real `serde`: it re-exports no-op `Serialize`/`Deserialize` derive
+//! macros and defines the two traits as markers with blanket impls. Code
+//! that *derives* the traits (all this workspace does) compiles unchanged;
+//! code that actually serializes would not — and none exists here.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`; blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`; blanket-implemented for all
+/// types.
+pub trait Deserialize<'de> {}
+impl<'de, T: ?Sized> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned {}
+impl<T: ?Sized> DeserializeOwned for T {}
+
+/// Stand-in for the `serde::de` module.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Stand-in for the `serde::ser` module.
+pub mod ser {
+    pub use crate::Serialize;
+}

@@ -1,0 +1,23 @@
+//! Offline shim for `serde_derive`.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal stand-in: the `Serialize`/`Deserialize` derives expand to
+//! nothing, and the sibling `serde` shim provides blanket trait impls so
+//! any `T: Serialize` bound still holds. Serialization itself is not
+//! implemented — the simulator never serializes, it only derives.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`: the `serde` shim's blanket impl already
+/// covers every type.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`: the `serde` shim's blanket impl already
+/// covers every type.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}

@@ -217,10 +217,12 @@ proptest! {
         let id = KernelId::Tiff2Bw;
         let profile = nvp_power::synth::WatchProfile::P5.synthesize_seconds(0.5);
         let run = || {
-            let mut cfg = SystemConfig::default();
-            cfg.seed = seed;
-            cfg.backup_policy = RetentionPolicy::Linear;
-            cfg.record_outputs = false;
+            let cfg = SystemConfig {
+                seed,
+                backup_policy: RetentionPolicy::Linear,
+                record_outputs: false,
+                ..Default::default()
+            };
             SystemSim::new(
                 id.spec(8, 8),
                 vec![id.make_input(8, 8, seed)],

@@ -17,10 +17,17 @@ fn incidental_beats_precise_by_a_wide_margin() {
     let profile = WatchProfile::P1.synthesize_seconds(2.5);
     let frames = frames_for(id, w, h, 3);
 
-    let mut cfg = SystemConfig::default();
-    cfg.record_outputs = false;
-    let base = SystemSim::new(id.spec(w, h), frames.clone(), ExecMode::Precise, cfg.clone())
-        .run(&profile);
+    let mut cfg = SystemConfig {
+        record_outputs: false,
+        ..Default::default()
+    };
+    let base = SystemSim::new(
+        id.spec(w, h),
+        frames.clone(),
+        ExecMode::Precise,
+        cfg.clone(),
+    )
+    .run(&profile);
 
     cfg.backup_policy = RetentionPolicy::Linear;
     let inc = SystemSim::new(
@@ -46,8 +53,10 @@ fn nvp_beats_waitcompute() {
     let profile = WatchProfile::P1.synthesize_seconds(4.0);
 
     let wc = WaitComputeSim::new(frame_instr).run(&profile);
-    let mut cfg = SystemConfig::default();
-    cfg.record_outputs = false;
+    let cfg = SystemConfig {
+        record_outputs: false,
+        ..Default::default()
+    };
     let nvp = SystemSim::new(spec, vec![input], ExecMode::Precise, cfg).run(&profile);
     assert!(
         nvp.forward_progress > wc.forward_progress,
@@ -66,9 +75,11 @@ fn retention_shaping_improves_progress() {
     let profile = WatchProfile::P2.synthesize_seconds(2.5);
     let frames = frames_for(id, w, h, 2);
     let fp = |policy: RetentionPolicy| {
-        let mut cfg = SystemConfig::default();
-        cfg.record_outputs = false;
-        cfg.backup_policy = policy;
+        let cfg = SystemConfig {
+            record_outputs: false,
+            backup_policy: policy,
+            ..Default::default()
+        };
         SystemSim::new(id.spec(w, h), frames.clone(), ExecMode::Precise, cfg)
             .run(&profile)
             .forward_progress
@@ -76,10 +87,7 @@ fn retention_shaping_improves_progress() {
     let baseline = fp(RetentionPolicy::one_day());
     for policy in RetentionPolicy::SHAPED {
         let shaped = fp(policy);
-        assert!(
-            shaped > baseline,
-            "{policy}: {shaped} vs 1-day {baseline}"
-        );
+        assert!(shaped > baseline, "{policy}: {shaped} vs 1-day {baseline}");
     }
 }
 
@@ -93,8 +101,10 @@ fn narrow_bits_double_progress() {
     let profile = WatchProfile::P3.synthesize_seconds(2.5);
     let frames = frames_for(id, w, h, 2);
     let fp = |bits: u8| {
-        let mut cfg = SystemConfig::default();
-        cfg.record_outputs = false;
+        let cfg = SystemConfig {
+            record_outputs: false,
+            ..Default::default()
+        };
         SystemSim::new(
             id.spec(w, h),
             frames.clone(),
@@ -106,10 +116,7 @@ fn narrow_bits_double_progress() {
     };
     let fp8 = fp(8);
     let fp1 = fp(1);
-    assert!(
-        fp1 as f64 > 1.5 * fp8 as f64,
-        "1-bit {fp1} vs 8-bit {fp8}"
-    );
+    assert!(fp1 as f64 > 1.5 * fp8 as f64, "1-bit {fp1} vs 8-bit {fp8}");
 }
 
 /// Section 8.5 / Figure 27: recompute-and-combine recovers quality within
@@ -121,16 +128,8 @@ fn recomputation_recovers_quality() {
     let (w, h) = (12, 12);
     let input = id.make_input(w, h, 9);
     let profile = WatchProfile::P1.synthesize_seconds(2.0);
-    let out = incidental::recompute_and_combine(
-        id,
-        w,
-        h,
-        &input,
-        2,
-        5,
-        MergeMode::HigherBits,
-        &profile,
-    );
+    let out =
+        incidental::recompute_and_combine(id, w, h, &input, 2, 5, MergeMode::HigherBits, &profile);
     let first = out.psnr_after_pass[0];
     let last = out.psnr_after_pass[4];
     assert!(
@@ -146,8 +145,10 @@ fn end_to_end_runs_are_deterministic() {
     let id = KernelId::Sobel;
     let profile = WatchProfile::P4.synthesize_seconds(1.0);
     let run = || {
-        let mut cfg = SystemConfig::default();
-        cfg.backup_policy = RetentionPolicy::Log;
+        let cfg = SystemConfig {
+            backup_policy: RetentionPolicy::Log,
+            ..Default::default()
+        };
         SystemSim::new(
             id.spec(10, 10),
             frames_for(id, 10, 10, 2),

@@ -73,9 +73,11 @@ fn outage_profile_bounds_msb_failures() {
     let covered = stats.covered_by(msb_retention);
 
     let id = KernelId::Median;
-    let mut cfg = SystemConfig::default();
-    cfg.backup_policy = RetentionPolicy::Linear;
-    cfg.record_outputs = false;
+    let cfg = SystemConfig {
+        backup_policy: RetentionPolicy::Linear,
+        record_outputs: false,
+        ..Default::default()
+    };
     let sim = SystemSim::new(
         id.spec(10, 10),
         vec![id.make_input(10, 10, 1)],
@@ -102,10 +104,15 @@ fn dynamic_quality_not_below_floor() {
     let golden = id.golden(&input, w, h);
     let spec = id.spec(w, h);
 
-    let mse_1 = quality::mse(&golden, &run_fixed(&spec, &input, ApproxConfig::fixed(1), 3));
+    let mse_1 = quality::mse(
+        &golden,
+        &run_fixed(&spec, &input, ApproxConfig::fixed(1), 3),
+    );
     let profile = WatchProfile::P1.synthesize_seconds(2.0);
-    let mut cfg = SystemConfig::default();
-    cfg.frames_limit = Some(1);
+    let cfg = SystemConfig {
+        frames_limit: Some(1),
+        ..Default::default()
+    };
     let rep = SystemSim::new(
         spec.clone(),
         vec![input.clone()],
@@ -133,9 +140,11 @@ fn ablation_knobs_bound_incidental_gain() {
     let profile = WatchProfile::P1.synthesize_seconds(2.0);
     let frames: Vec<Vec<i32>> = (0..3).map(|i| id.make_input(10, 10, i)).collect();
     let fp = |lanes: u8| {
-        let mut cfg = SystemConfig::default();
-        cfg.max_simd_lanes = lanes;
-        cfg.record_outputs = false;
+        let cfg = SystemConfig {
+            max_simd_lanes: lanes,
+            record_outputs: false,
+            ..Default::default()
+        };
         SystemSim::new(
             id.spec(10, 10),
             frames.clone(),
@@ -162,8 +171,10 @@ fn waitcompute_and_nvp_complete_under_strong_power() {
     let profile = PowerProfile::constant(Power::from_uw(1500.0), Ticks::from_seconds(5.0));
     let wc = WaitComputeSim::new(frame_instr).run(&profile);
     assert!(wc.frames_completed > 0);
-    let mut cfg = SystemConfig::default();
-    cfg.record_outputs = false;
+    let cfg = SystemConfig {
+        record_outputs: false,
+        ..Default::default()
+    };
     let nvp = SystemSim::new(spec, vec![input], ExecMode::Precise, cfg).run(&profile);
     assert!(nvp.frames_committed > 0);
 }
