@@ -1,0 +1,63 @@
+//! Tracing overhead: the same bursty system run through (a) the plain
+//! untraced `run` path, (b) `run_traced` with the no-op sink, (c) a bounded
+//! ring-buffer sink, and (d) a counters-only sink.
+//!
+//! The acceptance bar is (b) within noise of (a): `run` *is*
+//! `run_traced(&mut NoopTracer)`, so any daylight between them is
+//! measurement jitter, and (c)/(d) price the actual event stream.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nvp_kernels::KernelId;
+use nvp_power::PowerProfile;
+use nvp_sim::{ExecMode, SystemConfig, SystemSim};
+use nvp_trace::{CounterSink, NoopTracer, RingSink};
+use std::time::Duration;
+
+fn sim() -> SystemSim {
+    let id = KernelId::Tiff2Bw;
+    let frames = (0..2).map(|i| id.make_input(8, 8, 7 + i as u64)).collect();
+    let cfg = SystemConfig {
+        record_outputs: false,
+        ..Default::default()
+    };
+    SystemSim::new(id.spec(8, 8), frames, ExecMode::Precise, cfg)
+}
+
+/// Bursty power: forces frequent backup/restore, the event-densest regime.
+fn profile() -> PowerProfile {
+    let pattern: Vec<f64> = (0..30_000)
+        .map(|i| if i % 150 < 12 { 800.0 } else { 0.0 })
+        .collect();
+    PowerProfile::from_uw(pattern)
+}
+
+fn bench_trace_overhead(c: &mut Criterion) {
+    let profile = profile();
+    let mut g = c.benchmark_group("trace_overhead");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+
+    g.bench_function("untraced_run", |b| b.iter(|| sim().run(&profile)));
+    g.bench_function("noop_sink", |b| {
+        b.iter(|| sim().run_traced(&profile, &mut NoopTracer))
+    });
+    g.bench_function("ring_sink_4096", |b| {
+        b.iter(|| {
+            let mut sink = RingSink::new(4096);
+            let rep = sim().run_traced(&profile, &mut sink);
+            (rep, sink.len())
+        })
+    });
+    g.bench_function("counter_sink", |b| {
+        b.iter(|| {
+            let mut sink = CounterSink::new();
+            let rep = sim().run_traced(&profile, &mut sink);
+            (rep, sink.summary.total())
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_trace_overhead);
+criterion_main!(benches);

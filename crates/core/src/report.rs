@@ -238,4 +238,43 @@ mod tests {
         assert_eq!(q.mean_mse(), 0.0);
         assert_eq!(q.mean_psnr(), 0.0);
     }
+
+    #[test]
+    fn progress_summary_maps_every_field() {
+        use nvp_power::Energy;
+        let r = RunReport {
+            forward_progress: 12345,
+            backups: 17,
+            on_ticks: 250,
+            total_ticks: 1000,
+            frames_committed: 9,
+            incidental_frames: 4,
+            frames_abandoned: 2,
+            energy_income: Energy::from_nj(2000.0),
+            energy_backup: Energy::from_nj(500.0),
+            energy_backup_saved: Energy::from_nj(125.0),
+            retention_failures: [1, 2, 3, 0, 0, 0, 0, 4],
+            ..Default::default()
+        };
+        let s = ProgressSummary::from(&r);
+        assert_eq!(s.forward_progress, 12345);
+        assert_eq!(s.backups, 17);
+        assert_eq!(s.system_on, 0.25);
+        assert_eq!(s.frames_committed, 9);
+        assert_eq!(s.incidental_frames, 4);
+        assert_eq!(s.frames_abandoned, 2);
+        assert_eq!(s.backup_energy_fraction, 0.25);
+        assert_eq!(s.backup_energy_saved_nj, 125.0);
+        assert_eq!(s.retention_failures, 10);
+    }
+
+    #[test]
+    fn progress_summary_of_empty_report_is_zeroed() {
+        // Guard the division-by-zero paths: a default (0-tick, 0-income)
+        // report must map to all-zero ratios, not NaN.
+        let s = ProgressSummary::from(&RunReport::default());
+        assert_eq!(s, ProgressSummary::default());
+        assert_eq!(s.system_on, 0.0);
+        assert_eq!(s.backup_energy_fraction, 0.0);
+    }
 }

@@ -10,6 +10,7 @@
 use crate::retention::{RetentionPolicy, WORD_BITS};
 use crate::sttram::SttRamModel;
 use nvp_power::{Energy, Ticks};
+use nvp_trace::{emit, Event, NoopTracer, Tracer};
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
@@ -24,6 +25,56 @@ use serde::{Deserialize, Serialize};
 /// NVM, so it is not copied at backup time — instead its short-retention
 /// bits silently decay while power is out.
 pub fn decay_region(
+    mem: &mut crate::versioned::VersionedMemory,
+    start: usize,
+    end: usize,
+    versions: &[usize],
+    policy: RetentionPolicy,
+    outage: Ticks,
+    rng: &mut SmallRng,
+) -> [u64; 8] {
+    decay_region_traced(
+        mem,
+        start,
+        end,
+        versions,
+        policy,
+        outage,
+        rng,
+        0,
+        &mut NoopTracer,
+    )
+}
+
+/// [`decay_region`], additionally emitting one `retention_decay` event per
+/// bit position that failed (with `tick` as the restore tick the decay was
+/// observed at).
+#[allow(clippy::too_many_arguments)]
+pub fn decay_region_traced(
+    mem: &mut crate::versioned::VersionedMemory,
+    start: usize,
+    end: usize,
+    versions: &[usize],
+    policy: RetentionPolicy,
+    outage: Ticks,
+    rng: &mut SmallRng,
+    tick: u64,
+    tracer: &mut dyn Tracer,
+) -> [u64; 8] {
+    let failures = decay_region_inner(mem, start, end, versions, policy, outage, rng);
+    for (b, &n) in failures.iter().enumerate() {
+        if n > 0 {
+            emit(tracer, || Event::RetentionDecay {
+                tick,
+                bit: b as u8,
+                failures: n,
+            });
+        }
+    }
+    failures
+}
+
+fn decay_region_inner(
     mem: &mut crate::versioned::VersionedMemory,
     start: usize,
     end: usize,
@@ -400,5 +451,54 @@ mod tests {
     #[should_panic(expected = "mask length mismatch")]
     fn masked_backup_length_mismatch_panics() {
         ApproximateBackupStore::new(RetentionPolicy::Linear, 0).backup_masked(&[1, 2], &[true]);
+    }
+
+    #[test]
+    fn decay_region_traced_emits_per_failed_bit() {
+        use crate::versioned::VersionedMemory;
+        use nvp_trace::{Event, VecSink};
+        let run = |tracer: &mut dyn nvp_trace::Tracer| {
+            let mut mem = VersionedMemory::new(16);
+            for a in 0..16 {
+                mem.write(a, 0, 0xFF, 8);
+            }
+            let mut rng = SmallRng::seed_from_u64(11);
+            decay_region_traced(
+                &mut mem,
+                0,
+                16,
+                &[0],
+                RetentionPolicy::Linear,
+                Ticks(1000),
+                &mut rng,
+                77,
+                tracer,
+            )
+        };
+        let mut sink = VecSink::new();
+        let fails = run(&mut sink);
+        // A 1000-tick outage under Linear expires bits 0..2 (see
+        // `long_outage_decays_low_bits_only`): one event per failed bit,
+        // carrying the restore tick and the region's failure count.
+        let failed_bits: Vec<u8> = (0..8u8).filter(|&b| fails[b as usize] > 0).collect();
+        assert_eq!(failed_bits, vec![0, 1, 2]);
+        assert_eq!(sink.events.len(), 3);
+        for (ev, &b) in sink.events.iter().zip(&failed_bits) {
+            match ev {
+                Event::RetentionDecay {
+                    tick,
+                    bit,
+                    failures,
+                } => {
+                    assert_eq!(*tick, 77);
+                    assert_eq!(*bit, b);
+                    assert_eq!(*failures, fails[b as usize]);
+                }
+                other => panic!("unexpected event {other:?}"),
+            }
+        }
+        // Same RNG consumption with and without a listening tracer.
+        let silent = run(&mut nvp_trace::NoopTracer);
+        assert_eq!(silent, fails);
     }
 }

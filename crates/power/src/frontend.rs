@@ -152,6 +152,46 @@ impl Capacitor {
     }
 }
 
+/// Edge-detecting comparator on a stored-energy level (the restart-voltage
+/// monitor of an NVP front end).
+///
+/// The hardware holds the core in reset until the capacitor charges past
+/// the start threshold; this models the comparator's *edges* so a tracer
+/// can record threshold crossings without logging every tick.
+///
+/// ```
+/// use nvp_power::frontend::VoltageMonitor;
+/// use nvp_power::units::Energy;
+/// let mut m = VoltageMonitor::new();
+/// let th = Energy::from_nj(100.0);
+/// assert_eq!(m.observe(Energy::from_nj(50.0), th), None);      // still below
+/// assert_eq!(m.observe(Energy::from_nj(120.0), th), Some(true)); // rising edge
+/// assert_eq!(m.observe(Energy::from_nj(130.0), th), None);     // no new edge
+/// assert_eq!(m.observe(Energy::from_nj(10.0), th), Some(false)); // falling edge
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct VoltageMonitor {
+    was_above: bool,
+}
+
+impl VoltageMonitor {
+    /// Creates a monitor whose comparator starts below threshold (an
+    /// unpowered system).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Feeds one sample. Returns `Some(true)` on a rising edge (level
+    /// charged past the threshold), `Some(false)` on a falling edge, and
+    /// `None` while the comparator state is unchanged.
+    pub fn observe(&mut self, level: Energy, threshold: Energy) -> Option<bool> {
+        let above = level >= threshold;
+        let edge = above != self.was_above;
+        self.was_above = above;
+        edge.then_some(above)
+    }
+}
+
 /// Large energy-storage device for the wait-compute baseline (Section 2.2).
 ///
 /// Captures the conventional scheme's limitations called out by the paper:
@@ -398,5 +438,18 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn capacitor_zero_capacity_panics() {
         let _ = Capacitor::new(Energy::ZERO, Energy::ZERO);
+    }
+
+    #[test]
+    fn voltage_monitor_reports_edges_only() {
+        let mut m = VoltageMonitor::new();
+        let th = Energy::from_nj(50.0);
+        // Equality counts as above (matches the restart comparison in the
+        // simulator's off-phase check).
+        assert_eq!(m.observe(Energy::from_nj(50.0), th), Some(true));
+        assert_eq!(m.observe(Energy::from_nj(50.0), th), None);
+        assert_eq!(m.observe(Energy::from_nj(49.0), th), Some(false));
+        assert_eq!(m.observe(Energy::from_nj(0.0), th), None);
+        assert_eq!(m.observe(Energy::from_nj(99.0), th), Some(true));
     }
 }

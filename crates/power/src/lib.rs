@@ -47,7 +47,7 @@ pub mod profile;
 pub mod synth;
 pub mod units;
 
-pub use frontend::{Capacitor, EnergyStore, Rectifier};
+pub use frontend::{Capacitor, EnergyStore, Rectifier, VoltageMonitor};
 pub use io::{read_trace_csv, write_trace_csv, TraceIoError};
 pub use outage::{Outage, OutageStats};
 pub use profile::PowerProfile;

@@ -7,6 +7,7 @@
 
 use crate::profile::PowerProfile;
 use crate::units::{Power, Ticks};
+use nvp_trace::{emit, Event, NoopTracer, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// A single power emergency: a contiguous below-threshold interval.
@@ -40,17 +41,34 @@ impl OutageStats {
     /// A trailing below-threshold run that extends to the end of the trace
     /// counts as an outage (the device is still dark when the trace ends).
     pub fn extract(profile: &PowerProfile, threshold: Power) -> Self {
+        Self::extract_traced(profile, threshold, &mut NoopTracer)
+    }
+
+    /// [`extract`](Self::extract), additionally emitting an
+    /// `outage_start`/`outage_end` event pair per outage so a profile's
+    /// dark structure can be inspected with the same tooling as a
+    /// simulator trace.
+    pub fn extract_traced(
+        profile: &PowerProfile,
+        threshold: Power,
+        tracer: &mut dyn Tracer,
+    ) -> Self {
         let mut outages = Vec::new();
         let mut run_start: Option<u64> = None;
         for (t, p) in profile.iter() {
             if p < threshold {
                 if run_start.is_none() {
                     run_start = Some(t.0);
+                    emit(tracer, || Event::OutageStart { tick: t.0 });
                 }
             } else if let Some(s) = run_start.take() {
                 outages.push(Outage {
                     start: Ticks(s),
                     duration: Ticks(t.0 - s),
+                });
+                emit(tracer, || Event::OutageEnd {
+                    tick: t.0,
+                    duration: t.0 - s,
                 });
             }
         }
@@ -58,6 +76,10 @@ impl OutageStats {
             outages.push(Outage {
                 start: Ticks(s),
                 duration: Ticks(profile.len() as u64 - s),
+            });
+            emit(tracer, || Event::OutageEnd {
+                tick: profile.len() as u64,
+                duration: profile.len() as u64 - s,
             });
         }
         OutageStats {
@@ -247,5 +269,35 @@ mod tests {
     fn zero_bin_width_panics() {
         let p = profile(&[0.0]);
         OutageStats::extract(&p, Power::from_uw(33.0)).duration_histogram(0);
+    }
+
+    #[test]
+    fn extract_traced_emits_matched_outage_events() {
+        use nvp_trace::{Event, VecSink};
+        // Interior outage (ticks 1..3) plus trailing outage (ticks 5..7).
+        let p = profile(&[99.0, 0.0, 0.0, 99.0, 99.0, 0.0, 0.0]);
+        let mut sink = VecSink::new();
+        let s = OutageStats::extract_traced(&p, Power::from_uw(33.0), &mut sink);
+        assert_eq!(s.count(), 2);
+        let evs = &sink.events;
+        assert_eq!(evs.len(), 4);
+        assert!(matches!(evs[0], Event::OutageStart { tick: 1 }));
+        assert!(matches!(
+            evs[1],
+            Event::OutageEnd {
+                tick: 3,
+                duration: 2
+            }
+        ));
+        assert!(matches!(evs[2], Event::OutageStart { tick: 5 }));
+        assert!(matches!(
+            evs[3],
+            Event::OutageEnd {
+                tick: 7,
+                duration: 2
+            }
+        ));
+        // Untraced extraction is unchanged.
+        assert_eq!(s, OutageStats::extract(&p, Power::from_uw(33.0)));
     }
 }

@@ -31,6 +31,53 @@ use nvp_kernels::KernelId;
 use nvp_power::synth::WatchProfile;
 use nvp_power::PowerProfile;
 use nvp_sim::{ExecMode, RunReport, SystemConfig, SystemSim};
+use nvp_trace::{Event, JsonlSink, Tracer};
+use std::path::PathBuf;
+use std::sync::Mutex;
+
+/// Where experiment runs append their JSONL event traces, if anywhere.
+/// Set once by the CLI's `--trace` flag before experiments run.
+static TRACE_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
+
+/// Routes every subsequent [`run_system`] / [`run_system_on`] call's event
+/// stream to `path` (appending one labelled run per simulation). `None`
+/// disables tracing.
+pub fn set_trace_path(path: Option<PathBuf>) {
+    *TRACE_PATH.lock().expect("trace path lock") = path;
+}
+
+/// Short stable tag for a mode, used in trace run labels.
+fn mode_tag(mode: &ExecMode) -> &'static str {
+    match mode {
+        ExecMode::Precise => "precise",
+        ExecMode::Fixed(_) => "fixed",
+        ExecMode::Dynamic(_) => "dynamic",
+        ExecMode::Simd4 => "simd4",
+        ExecMode::Incidental(_) => "incidental",
+    }
+}
+
+/// Runs `sim`, appending a labelled trace to the `--trace` file when set.
+fn run_maybe_traced(sim: SystemSim, trace: &PowerProfile, label: String) -> RunReport {
+    let path = TRACE_PATH.lock().expect("trace path lock").clone();
+    match path {
+        Some(p) => {
+            let mut sink = JsonlSink::append(&p).unwrap_or_else(|e| {
+                panic!("cannot open trace file {}: {e}", p.display());
+            });
+            sink.record(&Event::RunStart {
+                tick: 0,
+                label: label.clone(),
+            });
+            let report = sim.run_traced(trace, &mut sink);
+            if let Err(e) = sink.finish() {
+                panic!("cannot write trace file {}: {e}", p.display());
+            }
+            report
+        }
+        None => sim.run(trace),
+    }
+}
 
 /// Builds the cycled input-frame set for a kernel at scale.
 pub(crate) fn make_frames(id: KernelId, scale: Scale) -> Vec<Vec<i32>> {
@@ -57,7 +104,8 @@ pub(crate) fn run_system(
     };
     tweak(&mut cfg);
     let trace = profile.synthesize_seconds(scale.trace_seconds);
-    SystemSim::new(spec, frames, mode, cfg).run(&trace)
+    let label = format!("{id:?}/{profile:?}/{}", mode_tag(&mode));
+    run_maybe_traced(SystemSim::new(spec, frames, mode, cfg), &trace, label)
 }
 
 /// Like [`run_system`] but over an explicit trace.
@@ -77,7 +125,8 @@ pub(crate) fn run_system_on(
         ..Default::default()
     };
     tweak(&mut cfg);
-    SystemSim::new(spec, frames, mode, cfg).run(trace)
+    let label = format!("{id:?}/custom/{}", mode_tag(&mode));
+    run_maybe_traced(SystemSim::new(spec, frames, mode, cfg), trace, label)
 }
 
 /// Every experiment in paper order; used by `repro all`.

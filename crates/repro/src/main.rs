@@ -2,7 +2,7 @@
 //! IoT Nonvolatile Processors* (MICRO-50, 2017).
 //!
 //! ```text
-//! repro <experiment>... [--quick] [--csv DIR] [--ablate]
+//! repro <experiment>... [--quick] [--csv DIR] [--ablate] [--trace FILE]
 //! repro all [--quick] [--csv DIR]
 //! repro list
 //! ```
@@ -56,6 +56,7 @@ fn main() -> ExitCode {
     let mut scale = Scale::full();
     let mut csv_dir: Option<PathBuf> = None;
     let mut out_dir = PathBuf::from("figures");
+    let mut trace_path: Option<PathBuf> = None;
     let mut ablate = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
@@ -66,6 +67,13 @@ fn main() -> ExitCode {
                 Some(d) => csv_dir = Some(PathBuf::from(d)),
                 None => {
                     eprintln!("--csv requires a directory");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--trace" => match it.next() {
+                Some(p) => trace_path = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--trace requires a file path");
                     return ExitCode::FAILURE;
                 }
             },
@@ -92,6 +100,15 @@ fn main() -> ExitCode {
     if names.is_empty() {
         usage();
         return ExitCode::FAILURE;
+    }
+    if let Some(p) = &trace_path {
+        // Truncate up front so each invocation produces a fresh trace, then
+        // let every simulation append its own labelled run.
+        if let Err(e) = std::fs::File::create(p) {
+            eprintln!("cannot create trace file {}: {e}", p.display());
+            return ExitCode::FAILURE;
+        }
+        experiments::set_trace_path(Some(p.clone()));
     }
 
     let mut tables: Vec<Table> = Vec::new();
@@ -127,6 +144,12 @@ fn main() -> ExitCode {
     }
     if let Some(dir) = &csv_dir {
         eprintln!("\nCSV written to {}", dir.display());
+    }
+    if let Some(p) = &trace_path {
+        eprintln!(
+            "trace written to {} (inspect with `nvp-trace summarize`)",
+            p.display()
+        );
     }
     ExitCode::SUCCESS
 }
@@ -166,7 +189,9 @@ fn run_experiment(name: &str, scale: Scale, ablate: bool) -> Option<Vec<Table>> 
 fn usage() {
     eprintln!("repro — regenerate the MICRO'17 incidental-computing evaluation");
     eprintln!();
-    eprintln!("usage: repro <experiment>... [--quick] [--csv DIR] [--out DIR] [--ablate]");
+    eprintln!(
+        "usage: repro <experiment>... [--quick] [--csv DIR] [--out DIR] [--ablate] [--trace FILE]"
+    );
     eprintln!("       repro all [--quick] [--csv DIR]");
     eprintln!("       repro list");
     eprintln!();

@@ -7,6 +7,23 @@
 use nvp_isa::{mem_truncate, ApproxConfig, Vm};
 use nvp_kernels::KernelSpec;
 
+/// Instruction budget for one uninterrupted frame; kernel programs finish
+/// far below it, so exceeding it means a runaway program.
+const HALT_BUDGET: u64 = 200_000_000;
+
+/// Builds a VM for `spec` with its memory image laid out and `input` loaded
+/// into lane 0, then runs it to halt and returns `(vm, instructions)`.
+fn run_prepared(spec: &KernelSpec, input: &[i32], prepare: impl FnOnce(&mut Vm)) -> (Vm, u64) {
+    let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+    *vm.mem_mut() = spec.build_memory();
+    spec.load_input(vm.mem_mut(), 0, input);
+    prepare(&mut vm);
+    let instrs = vm
+        .run_to_halt(HALT_BUDGET)
+        .expect("kernel program must halt");
+    (vm, instrs)
+}
+
 /// Runs `spec` on `input` at the given approximation configuration and
 /// returns the lane-0 output frame.
 ///
@@ -19,15 +36,12 @@ use nvp_kernels::KernelSpec;
 /// Panics if the input length mismatches the spec or the program faults —
 /// kernel programs are trusted not to fault on in-range inputs.
 pub fn run_fixed(spec: &KernelSpec, input: &[i32], cfg: ApproxConfig, noise_seed: u64) -> Vec<i32> {
-    let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
-    *vm.mem_mut() = spec.build_memory();
     let mem_bits = cfg.effective_mem_bits(0);
     let stored: Vec<i32> = input.iter().map(|&v| mem_truncate(v, mem_bits)).collect();
-    spec.load_input(vm.mem_mut(), 0, &stored);
-    vm.set_approx(cfg);
-    vm.seed_noise(noise_seed);
-    vm.run_to_halt(200_000_000)
-        .expect("kernel program must halt");
+    let (vm, _) = run_prepared(spec, &stored, |vm| {
+        vm.set_approx(cfg);
+        vm.seed_noise(noise_seed);
+    });
     spec.read_output(vm.mem(), 0)
 }
 
@@ -35,11 +49,7 @@ pub fn run_fixed(spec: &KernelSpec, input: &[i32], cfg: ApproxConfig, noise_seed
 /// the wait-compute energy-storage device and the frame-time table
 /// (Section 7).
 pub fn instructions_per_frame(spec: &KernelSpec, input: &[i32]) -> u64 {
-    let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
-    *vm.mem_mut() = spec.build_memory();
-    spec.load_input(vm.mem_mut(), 0, input);
-    vm.run_to_halt(200_000_000)
-        .expect("kernel program must halt")
+    run_prepared(spec, input, |_| {}).1
 }
 
 #[cfg(test)]

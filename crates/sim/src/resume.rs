@@ -8,6 +8,7 @@
 //! non-volatile flip-flops plus the multi-version register file; capacity
 //! here is 3 parked frames (the fourth slot is the live computation).
 
+use nvp_trace::Event;
 use serde::{Deserialize, Serialize};
 use std::collections::VecDeque;
 
@@ -32,6 +33,27 @@ pub struct PendingFrame {
     /// marker* (Section 4's recompute path): it matches unconditionally at
     /// its recorded marker PC instead of requiring loop-variable equality.
     pub recompute: bool,
+}
+
+impl PendingFrame {
+    /// Trace event describing this frame being parked at `tick`.
+    pub fn park_event(&self, tick: u64) -> Event {
+        Event::FrameParked {
+            tick,
+            input_index: self.input_index,
+            version: self.version as u8,
+            recompute: self.recompute,
+        }
+    }
+
+    /// Trace event describing this frame being abandoned (FIFO-evicted)
+    /// at `tick`.
+    pub fn abandon_event(&self, tick: u64) -> Event {
+        Event::FrameAbandoned {
+            tick,
+            input_index: self.input_index,
+        }
+    }
 }
 
 /// The resume-point FIFO.
@@ -262,6 +284,28 @@ mod tests {
         c.park(entry(0, 1, 2, 0));
         c.reassign_version(2, 3);
         assert_eq!(c.pending().next().unwrap().version, 3);
+    }
+
+    #[test]
+    fn event_constructors_carry_frame_identity() {
+        let mut e = entry(9, 4, 2, 0);
+        e.recompute = true;
+        assert_eq!(
+            e.park_event(100),
+            Event::FrameParked {
+                tick: 100,
+                input_index: 9,
+                version: 2,
+                recompute: true,
+            }
+        );
+        assert_eq!(
+            e.abandon_event(101),
+            Event::FrameAbandoned {
+                tick: 101,
+                input_index: 9,
+            }
+        );
     }
 
     #[test]

@@ -9,16 +9,17 @@
 //! which either rolls back (conventional NVP) or rolls forward to the
 //! newest buffered frame (incidental NVP, Section 3.1).
 
-use crate::energy::EnergyModel;
-use crate::governor::Governor;
+use crate::energy::{EnergyModel, FlushCursor};
+use crate::governor::{BitsTracker, Governor};
 use crate::resume::{PendingFrame, ResumeController, PARK_SLOTS};
 use nvp_analysis::BackupLiveness;
 use nvp_isa::approx::FULL_BITS;
 use nvp_isa::{ApproxConfig, StepEvent, Vm};
 use nvp_kernels::KernelSpec;
-use nvp_nvm::backup::decay_region;
+use nvp_nvm::backup::decay_region_traced;
 use nvp_nvm::RetentionPolicy;
-use nvp_power::{Capacitor, Energy, PowerProfile, Rectifier, Ticks};
+use nvp_power::{Capacitor, Energy, PowerProfile, Rectifier, Ticks, VoltageMonitor};
+use nvp_trace::{emit, Event, NoopTracer, Tracer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -451,8 +452,10 @@ impl SystemSim {
         self.vm.set_pc(0);
     }
 
-    /// Per-tick bitwidth control (the approximation control unit).
-    fn update_governor(&mut self, income_uw: f64) {
+    /// Per-tick bitwidth control (the approximation control unit). Returns
+    /// the governed width for modes with a governor (`None` for fixed-width
+    /// modes) so the run loop can trace switches.
+    fn update_governor(&mut self, income_uw: f64) -> Option<u8> {
         let fill = self.cap.fill();
         match self.mode {
             ExecMode::Dynamic(g) => {
@@ -462,6 +465,7 @@ impl SystemSim {
                 c.alu_bits[0] = bits;
                 c.mem_bits[0] = bits;
                 self.vm.set_approx(c);
+                Some(bits)
             }
             ExecMode::Incidental(s) => {
                 let g = Governor::new(s.minbits, s.maxbits);
@@ -480,15 +484,21 @@ impl SystemSim {
                     c.mem_bits[0] = FULL_BITS;
                 }
                 self.vm.set_approx(c);
+                Some(bits)
             }
-            _ => {}
+            _ => None,
         }
     }
 
-    fn do_backup(&mut self, tick: u64) {
+    fn do_backup(&mut self, tick: u64, cursor: &mut FlushCursor, tracer: &mut dyn Tracer) {
+        emit(tracer, || Event::PowerEmergency {
+            tick,
+            level_nj: self.cap.level().as_nj(),
+            reserve_nj: self.reserve().as_nj(),
+        });
         let full = self.backup_cost();
-        let cost = match self.cfg.backup_scope {
-            BackupScope::FullState => full,
+        let (cost, saved, live_fraction) = match self.cfg.backup_scope {
+            BackupScope::FullState => (full, Energy::ZERO, 1.0),
             BackupScope::LiveOnly => {
                 // Scale the data-word portion of the backup by the live
                 // register fraction at the interruption point. The reserve
@@ -503,19 +513,29 @@ impl SystemSim {
                 if self.is_incidental() {
                     scoped = scoped * self.cfg.incidental_backup_factor;
                 }
-                self.report.energy_backup_saved += full - scoped;
-                scoped
+                (scoped, full - scoped, frac)
             }
         };
+        self.report.energy_backup_saved += saved;
+        let (income, compute) = (self.report.energy_income, self.report.energy_compute);
+        emit(tracer, || cursor.flush(tick, income, compute));
         self.cap.drain_up_to(cost);
         self.report.energy_backup += cost;
         self.report.backups += 1;
         self.outage_start = tick;
         self.phase = Phase::Off;
+        emit(tracer, || Event::Backup {
+            tick,
+            cost_nj: cost.as_nj(),
+            saved_nj: saved.as_nj(),
+            live_fraction,
+            bits: self.live_data_bits(),
+        });
+        emit(tracer, || Event::OutageStart { tick });
     }
 
     /// Parks every active lane (roll-forward decision at restore time).
-    fn park_all(&mut self) {
+    fn park_all(&mut self, tick: u64, tracer: &mut dyn Tracer) {
         let lanes = self.vm.approx().lanes as usize;
         let recompute = matches!(
             self.mode,
@@ -535,8 +555,10 @@ impl SystemSim {
                 version: l,
                 recompute,
             };
-            if self.controller.park(entry).is_some() {
+            emit(tracer, || entry.park_event(tick));
+            if let Some(evicted) = self.controller.park(entry) {
                 self.report.frames_abandoned += 1;
+                emit(tracer, || evicted.abandon_event(tick));
             }
         }
         // Park the live lane into a free plane (evicting the oldest parked
@@ -549,6 +571,7 @@ impl SystemSim {
                     .evict_oldest()
                     .expect("full controller has an oldest entry");
                 self.report.frames_abandoned += 1;
+                emit(tracer, || ev.abandon_event(tick));
                 ev.version
             }
         };
@@ -562,8 +585,10 @@ impl SystemSim {
             version,
             recompute,
         };
-        if self.controller.park(entry).is_some() {
+        emit(tracer, || entry.park_event(tick));
+        if let Some(evicted) = self.controller.park(entry) {
             self.report.frames_abandoned += 1;
+            emit(tracer, || evicted.abandon_event(tick));
         }
         let mut c = self.vm.approx();
         c.lanes = 1;
@@ -612,24 +637,39 @@ impl SystemSim {
         }
     }
 
-    fn do_restore(&mut self, tick: u64) {
+    fn do_restore(&mut self, tick: u64, cursor: &mut FlushCursor, tracer: &mut dyn Tracer) {
         let cost = self.cfg.energy.restore_energy();
         self.cap.drain_up_to(cost);
         self.report.energy_restore += cost;
         self.report.restores += 1;
+        let (income, compute) = (self.report.energy_income, self.report.energy_compute);
+        emit(tracer, || cursor.flush(tick, income, compute));
         if !self.started {
             self.initial_start();
             self.phase = Phase::Running;
+            emit(tracer, || Event::Restore {
+                tick,
+                cost_nj: cost.as_nj(),
+                outage_ticks: 0,
+                rolled_forward: false,
+                cold: true,
+            });
             return;
         }
         let outage = Ticks(tick.saturating_sub(self.outage_start));
-        self.apply_decay(outage);
+        emit(tracer, || Event::OutageEnd {
+            tick,
+            duration: outage.0,
+        });
+        self.apply_decay(outage, tick, tracer);
+        let mut rolled_forward = false;
         if let ExecMode::Incidental(setup) = self.mode {
             let age = tick.saturating_sub(self.live_loaded_at);
             if Ticks(age) > setup.staleness {
                 // The live data's relevance has lapsed: park everything
                 // and roll forward to the newest buffered frame.
-                self.park_all();
+                rolled_forward = true;
+                self.park_all(tick, tracer);
                 self.load_frame(self.next_input, 0);
                 self.active_inputs = vec![self.next_input];
                 self.next_input += 1;
@@ -640,9 +680,16 @@ impl SystemSim {
             // Otherwise resume in place (roll-back), active lanes intact.
         }
         self.phase = Phase::Running;
+        emit(tracer, || Event::Restore {
+            tick,
+            cost_nj: cost.as_nj(),
+            outage_ticks: outage.0,
+            rolled_forward,
+            cold: false,
+        });
     }
 
-    fn apply_decay(&mut self, outage: Ticks) {
+    fn apply_decay(&mut self, outage: Ticks, tick: u64, tracer: &mut dyn Tracer) {
         let (a, b) = self.approx_span();
         let versions: Vec<usize> = if self.is_incidental() {
             // Parked planes and the still-active lanes both sit in NVM
@@ -658,7 +705,7 @@ impl SystemSim {
         if versions.is_empty() {
             return;
         }
-        let fails = decay_region(
+        let fails = decay_region_traced(
             self.vm.mem_mut(),
             a,
             b,
@@ -666,6 +713,8 @@ impl SystemSim {
             self.cfg.backup_policy,
             outage,
             &mut self.rng,
+            tick,
+            tracer,
         );
         for (acc, f) in self.report.retention_failures.iter_mut().zip(fails) {
             *acc += f;
@@ -673,7 +722,7 @@ impl SystemSim {
     }
 
     /// Attempts incidental SIMD merges at the current PC.
-    fn try_merge(&mut self) {
+    fn try_merge(&mut self, tick: u64, tracer: &mut dyn Tracer) {
         let lanes = self.vm.approx().lanes as usize;
         let max_lanes = (self.cfg.max_simd_lanes as usize).min(1 + PARK_SLOTS);
         if lanes >= max_lanes || self.controller.is_empty() {
@@ -701,6 +750,12 @@ impl SystemSim {
             }
             self.vm.regfile_mut().set_version_values(target, entry.regs);
             self.active_inputs.push(entry.input_index);
+            emit(tracer, || Event::Merge {
+                tick,
+                lane: target as u8,
+                input_index: entry.input_index,
+                pc: pc as u64,
+            });
             lanes += 1;
             self.report.merges += 1;
         }
@@ -711,7 +766,7 @@ impl SystemSim {
 
     /// Commits all active lanes at a `frame_done` marker and loads the next
     /// frame(s).
-    fn commit_frames(&mut self, tick: u64) {
+    fn commit_frames(&mut self, tick: u64, tracer: &mut dyn Tracer) {
         self.live_loaded_at = tick;
         let lanes = self.vm.approx().lanes as usize;
         for l in 0..lanes {
@@ -731,11 +786,18 @@ impl SystemSim {
                 output,
                 precision,
             });
-            if l == 0 || matches!(self.mode, ExecMode::Simd4) {
-                self.report.frames_committed += 1;
-            } else {
+            let incidental = !(l == 0 || matches!(self.mode, ExecMode::Simd4));
+            if incidental {
                 self.report.incidental_frames += 1;
+            } else {
+                self.report.frames_committed += 1;
             }
+            emit(tracer, || Event::FrameCommitted {
+                tick,
+                lane: l as u8,
+                input_index,
+                incidental,
+            });
         }
         if let Some(limit) = self.cfg.frames_limit {
             if self.report.frames_committed >= limit {
@@ -765,24 +827,24 @@ impl SystemSim {
         self.vm.set_pc(0);
     }
 
-    fn run_tick(&mut self, tick: u64) {
+    fn run_tick(&mut self, tick: u64, cursor: &mut FlushCursor, tracer: &mut dyn Tracer) {
         self.report.on_ticks += 1;
         let bits = self.live_data_bits().min(8) as usize;
         self.report.bit_utilization[bits] += 1;
         let mut cycles = 0u64;
         while cycles < CYCLES_PER_TICK {
             if self.is_incidental() {
-                self.try_merge();
+                self.try_merge(tick, tracer);
             }
             let Some(instr) = self.spec.program.fetch(self.vm.pc()) else {
                 // Defensive: treat running off the end as frame completion.
-                self.commit_frames(tick);
+                self.commit_frames(tick, tracer);
                 continue;
             };
             let cfg = self.vm.approx();
             let e = self.cfg.energy.instr_energy(instr.class(), &cfg);
             if self.cap.level() < self.reserve() + e {
-                self.do_backup(tick);
+                self.do_backup(tick, cursor, tracer);
                 return;
             }
             let drained = self.cap.try_drain(e);
@@ -794,7 +856,7 @@ impl SystemSim {
             cycles += ev.cycles().max(1);
             match ev {
                 StepEvent::FrameDone => {
-                    self.commit_frames(tick);
+                    self.commit_frames(tick, tracer);
                     if self.phase == Phase::Done {
                         return;
                     }
@@ -811,7 +873,26 @@ impl SystemSim {
     }
 
     /// Runs the simulation over `profile` and returns the report.
-    pub fn run(mut self, profile: &PowerProfile) -> RunReport {
+    pub fn run(self, profile: &PowerProfile) -> RunReport {
+        self.run_traced(profile, &mut NoopTracer)
+    }
+
+    /// Runs the simulation, emitting structured events into `tracer`.
+    ///
+    /// Event ordering contract (relied upon by `nvp-trace` and the
+    /// ordering-invariant tests):
+    ///
+    /// - power emergency: `power_emergency`, `energy_flush`, `backup`,
+    ///   `outage_start` — all at the same tick;
+    /// - recovery: `energy_flush`, `outage_end`, zero or more
+    ///   `retention_decay`, zero or more `frame_parked` /
+    ///   `frame_abandoned` (roll-forward only), then `restore`;
+    /// - run end: a final `energy_flush` followed by `run_end` carrying the
+    ///   report's totals, which makes every complete trace self-checking.
+    pub fn run_traced(mut self, profile: &PowerProfile, tracer: &mut dyn Tracer) -> RunReport {
+        let mut cursor = FlushCursor::new();
+        let mut monitor = VoltageMonitor::new();
+        let mut bits_tracker = BitsTracker::new();
         for (t, power) in profile.iter() {
             if self.phase == Phase::Done {
                 break;
@@ -821,24 +902,57 @@ impl SystemSim {
             self.report.energy_income += banked;
             self.cap.leak_tick();
             self.report.total_ticks += 1;
-            self.update_governor(power.as_uw());
+            if let Some(bits) = self.update_governor(power.as_uw()) {
+                if let Some((from_bits, to_bits)) = bits_tracker.observe(bits) {
+                    emit(tracer, || Event::GovernorSwitch {
+                        tick: t.0,
+                        from_bits,
+                        to_bits,
+                    });
+                }
+            }
             match self.phase {
                 Phase::Off => {
                     self.report.bit_utilization[0] += 1;
-                    if self.cap.level() >= self.start_threshold() {
-                        self.do_restore(t.0);
+                    let threshold = self.start_threshold();
+                    if let Some(up) = monitor.observe(self.cap.level(), threshold) {
+                        emit(tracer, || Event::ThresholdCross {
+                            tick: t.0,
+                            level_nj: self.cap.level().as_nj(),
+                            threshold_nj: threshold.as_nj(),
+                            up,
+                        });
+                    }
+                    if self.cap.level() >= threshold {
+                        self.do_restore(t.0, &mut cursor, tracer);
                         if self.phase == Phase::Running {
-                            self.run_tick(t.0);
+                            self.run_tick(t.0, &mut cursor, tracer);
                             // restore consumed the tick's utilization slot
                             self.report.bit_utilization[0] -= 1;
                         }
                     }
                 }
-                Phase::Running => self.run_tick(t.0),
+                Phase::Running => self.run_tick(t.0, &mut cursor, tracer),
                 Phase::Done => {}
             }
         }
-        self.report
+        let final_tick = self.report.total_ticks;
+        let (income, compute) = (self.report.energy_income, self.report.energy_compute);
+        emit(tracer, || cursor.flush(final_tick, income, compute));
+        let report = self.report;
+        emit(tracer, || Event::RunEnd {
+            tick: final_tick,
+            income_nj: report.energy_income.as_nj(),
+            compute_nj: report.energy_compute.as_nj(),
+            backup_nj: report.energy_backup.as_nj(),
+            restore_nj: report.energy_restore.as_nj(),
+            saved_nj: report.energy_backup_saved.as_nj(),
+            backups: report.backups,
+            restores: report.restores,
+            frames: report.frames_committed + report.incidental_frames,
+            forward_progress: report.forward_progress,
+        });
+        report
     }
 }
 

@@ -13,6 +13,7 @@ use crate::energy::EnergyModel;
 use nvp_isa::ApproxConfig;
 use nvp_isa::InstrClass;
 use nvp_power::{Energy, EnergyStore, PowerProfile, Rectifier, Ticks};
+use nvp_trace::{emit, Event, NoopTracer, Tracer};
 use serde::{Deserialize, Serialize};
 
 /// Results of a wait-compute run.
@@ -70,7 +71,17 @@ impl WaitComputeSim {
     }
 
     /// Runs the baseline over a power trace.
-    pub fn run(mut self, profile: &PowerProfile) -> WaitComputeReport {
+    pub fn run(self, profile: &PowerProfile) -> WaitComputeReport {
+        self.run_traced(profile, &mut NoopTracer)
+    }
+
+    /// Runs the baseline, emitting `wait_stall` events when the ESD runs
+    /// dry mid-frame and `frame_committed` events on frame completion.
+    pub fn run_traced(
+        mut self,
+        profile: &PowerProfile,
+        tracer: &mut dyn Tracer,
+    ) -> WaitComputeReport {
         let frame_energy = self.frame_energy();
         let instr_energy = self
             .energy
@@ -79,7 +90,7 @@ impl WaitComputeSim {
         let per_tick = 100u64;
         let mut rep = WaitComputeReport::default();
         let mut executing_remaining = 0u64;
-        for (_t, power) in profile.iter() {
+        for (t, power) in profile.iter() {
             rep.total_ticks += 1;
             let dc = self.rectifier.convert(power);
             // The charger runs continuously, including during execution.
@@ -92,10 +103,22 @@ impl WaitComputeSim {
                     rep.forward_progress += burst;
                     if executing_remaining == 0 {
                         rep.frames_completed += 1;
+                        let input_index = rep.frames_completed - 1;
+                        emit(tracer, || Event::FrameCommitted {
+                            tick: t.0,
+                            lane: 0,
+                            input_index,
+                            incidental: false,
+                        });
                     }
                 } else {
                     // ESD ran dry mid-frame (leakage): volatile MCU loses
                     // the whole frame.
+                    emit(tracer, || Event::WaitStall {
+                        tick: t.0,
+                        level_nj: self.store.level().as_nj(),
+                        needed_nj: (instr_energy * burst as f64).as_nj(),
+                    });
                     executing_remaining = 0;
                 }
             } else {

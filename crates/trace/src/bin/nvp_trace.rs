@@ -1,0 +1,181 @@
+//! Trace-inspection CLI: `summarize`, `timeline` and `diff` over JSONL
+//! traces recorded with `nvp-repro --trace <path>`.
+
+#![forbid(unsafe_code)]
+
+use nvp_trace::{Event, EventKind, TraceSummary};
+use std::fs::File;
+use std::io::BufReader;
+use std::path::Path;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+nvp-trace: inspect JSONL traces recorded with `nvp-repro --trace <path>`
+
+USAGE:
+  nvp-trace summarize <trace.jsonl>
+      Per-event-type counts, inter-backup-interval and outage-duration
+      histograms, per-run energy ledger. Exits nonzero if any run's summed
+      ledger fails to reconcile with its run_end totals.
+  nvp-trace timeline <trace.jsonl> [--width N]
+      Text rendering of on/off/backup/restore phases per run (default
+      width 120 cells).
+  nvp-trace diff <a.jsonl> <b.jsonl>
+      Compare two traces: count deltas, ledger deltas, and the first
+      point of divergence. Exits nonzero if the traces differ.
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("summarize") if args.len() == 2 => summarize(Path::new(&args[1])),
+        Some("timeline") => timeline(&args[1..]),
+        Some("diff") if args.len() == 3 => diff_cmd(Path::new(&args[1]), Path::new(&args[2])),
+        Some("--help" | "-h" | "help") => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprint!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn load(path: &Path) -> Result<(TraceSummary, Vec<Event>), String> {
+    let file = File::open(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    TraceSummary::from_reader(BufReader::new(file)).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+fn summarize(path: &Path) -> ExitCode {
+    let (summary, _events) = match load(path) {
+        Ok(x) => x,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("trace: {}  ({} events)", path.display(), summary.total());
+    println!();
+    println!("event counts:");
+    for kind in EventKind::ALL {
+        let n = summary.count(kind);
+        if n > 0 {
+            println!("  {:<18} {n:>10}", kind.name());
+        }
+    }
+    println!();
+    println!(
+        "inter-backup intervals (ticks): {} samples, mean {:.1}, min {:?}, max {:?}",
+        summary.inter_backup.count(),
+        summary.inter_backup.mean(),
+        summary.inter_backup.min(),
+        summary.inter_backup.max()
+    );
+    print!("{}", summary.inter_backup.render("  "));
+    println!();
+    println!(
+        "outage durations (ticks): {} samples, mean {:.1}, min {:?}, max {:?}",
+        summary.outage_duration.count(),
+        summary.outage_duration.mean(),
+        summary.outage_duration.min(),
+        summary.outage_duration.max()
+    );
+    print!("{}", summary.outage_duration.render("  "));
+    if summary.retention_failures > 0 {
+        println!();
+        println!("retention-bit failures: {}", summary.retention_failures);
+    }
+    println!();
+    println!("energy ledger (summed from events), per run:");
+    for (i, run) in summary.runs.iter().enumerate() {
+        let label = if run.label.is_empty() {
+            "(unlabeled)"
+        } else {
+            &run.label
+        };
+        println!("  run {i}: {label}  ({} events)", run.events);
+        println!(
+            "    income {:>14.2} nJ  compute {:>14.2} nJ  backup {:>12.2} nJ  restore {:>10.2} nJ  saved {:>12.2} nJ",
+            run.ledger.income_nj,
+            run.ledger.compute_nj,
+            run.ledger.backup_nj,
+            run.ledger.restore_nj,
+            run.ledger.saved_nj
+        );
+        match &run.end {
+            Some(end) => println!(
+                "    run_end totals: {} backups, {} restores, {} frames, progress {}",
+                end.backups, end.restores, end.frames, end.forward_progress
+            ),
+            None => println!("    (no run_end event — truncated trace?)"),
+        }
+    }
+    let bad = summary.reconcile();
+    println!();
+    if bad.is_empty() {
+        println!("ledger reconciliation: OK (all runs match run_end totals)");
+        ExitCode::SUCCESS
+    } else {
+        println!("ledger reconciliation: FAILED");
+        for (run, mismatches) in &bad {
+            for m in mismatches {
+                println!("  run {run}: {m}");
+            }
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn timeline(args: &[String]) -> ExitCode {
+    let mut path: Option<&str> = None;
+    let mut width = 120usize;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--width" => match it.next().and_then(|w| w.parse().ok()) {
+                Some(w) => width = w,
+                None => {
+                    eprintln!("error: --width needs a number");
+                    return ExitCode::from(2);
+                }
+            },
+            a if path.is_none() => path = Some(a),
+            a => {
+                eprintln!("error: unexpected argument '{a}'");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(path) = path else {
+        eprint!("{USAGE}");
+        return ExitCode::from(2);
+    };
+    match load(Path::new(path)) {
+        Ok((_, events)) => {
+            print!("{}", nvp_trace::render_timeline(&events, width));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn diff_cmd(a: &Path, b: &Path) -> ExitCode {
+    let (ea, eb) = match (load(a), load(b)) {
+        (Ok((_, ea)), Ok((_, eb))) => (ea, eb),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let d = nvp_trace::diff(&ea, &eb);
+    print!("{d}");
+    if d.identical() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

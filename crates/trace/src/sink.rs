@@ -1,0 +1,335 @@
+//! The [`Tracer`] trait and the built-in sinks.
+//!
+//! Instrumented code holds a `&mut dyn Tracer` and calls [`emit`] with a
+//! closure; when the sink reports itself disabled the closure is never
+//! invoked, so event construction (string formatting, unit conversion)
+//! costs nothing on the untraced path beyond one virtual call per site.
+
+use crate::event::Event;
+use crate::summary::TraceSummary;
+use std::collections::VecDeque;
+use std::fs::{File, OpenOptions};
+use std::io::{BufWriter, Write};
+use std::path::Path;
+
+/// A destination for trace events.
+pub trait Tracer {
+    /// Whether this sink wants events at all. Call sites should skip event
+    /// construction when this returns `false` (see [`emit`]).
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    /// Records one event.
+    fn record(&mut self, ev: &Event);
+}
+
+/// Builds and records an event only if the tracer is enabled.
+///
+/// The closure defers all field computation — formatting a label, reading a
+/// capacitor level — until we know someone is listening.
+#[inline]
+pub fn emit(tracer: &mut dyn Tracer, build: impl FnOnce() -> Event) {
+    if tracer.enabled() {
+        let ev = build();
+        tracer.record(&ev);
+    }
+}
+
+/// The zero-cost sink: reports itself disabled and drops everything.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopTracer;
+
+impl Tracer for NoopTracer {
+    #[inline]
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    #[inline]
+    fn record(&mut self, _ev: &Event) {}
+}
+
+/// Unbounded in-memory sink; the workhorse for tests.
+#[derive(Debug, Clone, Default)]
+pub struct VecSink {
+    /// Every event recorded, in order.
+    pub events: Vec<Event>,
+}
+
+impl VecSink {
+    /// Creates an empty sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tracer for VecSink {
+    fn record(&mut self, ev: &Event) {
+        self.events.push(ev.clone());
+    }
+}
+
+/// Bounded in-memory ring buffer: keeps the newest `capacity` events and
+/// counts how many older ones were dropped. Suited to always-on tracing
+/// where only the tail (the moments before a failure) matters.
+#[derive(Debug, Clone)]
+pub struct RingSink {
+    buf: VecDeque<Event>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// Creates a ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        RingSink {
+            buf: VecDeque::with_capacity(capacity.max(1)),
+            capacity: capacity.max(1),
+            dropped: 0,
+        }
+    }
+
+    /// Events dropped because the ring was full.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Events currently held, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &Event> {
+        self.buf.iter()
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether the ring is empty.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+}
+
+impl Tracer for RingSink {
+    fn record(&mut self, ev: &Event) {
+        if self.buf.len() == self.capacity {
+            self.buf.pop_front();
+            self.dropped += 1;
+        }
+        self.buf.push_back(ev.clone());
+    }
+}
+
+/// Metrics-only sink: folds every event into a [`TraceSummary`] without
+/// retaining the events themselves. Constant memory regardless of run
+/// length.
+#[derive(Debug, Clone, Default)]
+pub struct CounterSink {
+    /// The running summary.
+    pub summary: TraceSummary,
+}
+
+impl CounterSink {
+    /// Creates an empty counter sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+impl Tracer for CounterSink {
+    fn record(&mut self, ev: &Event) {
+        self.summary.observe(ev);
+    }
+}
+
+/// Streams events to a JSONL file, one event per line.
+#[derive(Debug)]
+pub struct JsonlSink {
+    out: BufWriter<File>,
+    written: u64,
+    error: Option<std::io::Error>,
+}
+
+impl JsonlSink {
+    /// Creates (truncates) `path` and streams events into it.
+    pub fn create(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::from_file(File::create(path)?))
+    }
+
+    /// Opens `path` in append mode — used when several runs share one
+    /// trace file, each delimited by its own `run_start` event.
+    pub fn append(path: impl AsRef<Path>) -> std::io::Result<Self> {
+        Ok(Self::from_file(
+            OpenOptions::new().create(true).append(true).open(path)?,
+        ))
+    }
+
+    fn from_file(file: File) -> Self {
+        JsonlSink {
+            out: BufWriter::new(file),
+            written: 0,
+            error: None,
+        }
+    }
+
+    /// Events successfully written so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Flushes buffered lines and surfaces any deferred write error.
+    pub fn finish(mut self) -> std::io::Result<u64> {
+        self.out.flush()?;
+        if let Some(e) = self.error.take() {
+            return Err(e);
+        }
+        Ok(self.written)
+    }
+}
+
+impl Tracer for JsonlSink {
+    fn record(&mut self, ev: &Event) {
+        if self.error.is_some() {
+            return; // fail-stop: first I/O error wins, later events dropped
+        }
+        let line = ev.to_json();
+        if let Err(e) = self
+            .out
+            .write_all(line.as_bytes())
+            .and_then(|()| self.out.write_all(b"\n"))
+        {
+            self.error = Some(e);
+        } else {
+            self.written += 1;
+        }
+    }
+}
+
+impl Drop for JsonlSink {
+    fn drop(&mut self) {
+        let _ = self.out.flush();
+    }
+}
+
+/// Fans one event stream out to two sinks (e.g. JSONL file + counters).
+pub struct TeeSink<'a> {
+    /// First sink.
+    pub a: &'a mut dyn Tracer,
+    /// Second sink.
+    pub b: &'a mut dyn Tracer,
+}
+
+impl Tracer for TeeSink<'_> {
+    fn enabled(&self) -> bool {
+        self.a.enabled() || self.b.enabled()
+    }
+
+    fn record(&mut self, ev: &Event) {
+        if self.a.enabled() {
+            self.a.record(ev);
+        }
+        if self.b.enabled() {
+            self.b.record(ev);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::EventKind;
+
+    fn ev(tick: u64) -> Event {
+        Event::OutageStart { tick }
+    }
+
+    #[test]
+    fn noop_never_builds_the_event() {
+        let mut noop = NoopTracer;
+        let mut built = false;
+        emit(&mut noop, || {
+            built = true;
+            ev(0)
+        });
+        assert!(!built, "closure must not run for a disabled sink");
+    }
+
+    #[test]
+    fn vec_sink_keeps_order() {
+        let mut sink = VecSink::new();
+        for t in 0..5 {
+            emit(&mut sink, || ev(t));
+        }
+        let ticks: Vec<u64> = sink.events.iter().map(|e| e.tick()).collect();
+        assert_eq!(ticks, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn ring_sink_drops_oldest() {
+        let mut sink = RingSink::new(3);
+        for t in 0..10 {
+            sink.record(&ev(t));
+        }
+        assert_eq!(sink.dropped(), 7);
+        assert_eq!(sink.len(), 3);
+        let ticks: Vec<u64> = sink.events().map(|e| e.tick()).collect();
+        assert_eq!(ticks, vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn counter_sink_counts_without_storing() {
+        let mut sink = CounterSink::new();
+        for t in 0..4 {
+            sink.record(&ev(t));
+        }
+        sink.record(&Event::OutageEnd {
+            tick: 9,
+            duration: 5,
+        });
+        assert_eq!(sink.summary.count(EventKind::OutageStart), 4);
+        assert_eq!(sink.summary.count(EventKind::OutageEnd), 1);
+        assert_eq!(sink.summary.total(), 5);
+    }
+
+    #[test]
+    fn jsonl_sink_roundtrips_through_a_file() {
+        let path = std::env::temp_dir().join("nvp_trace_sink_test.jsonl");
+        let mut sink = JsonlSink::create(&path).unwrap();
+        let events = vec![
+            Event::RunStart {
+                tick: 0,
+                label: "t".into(),
+            },
+            ev(3),
+            Event::OutageEnd {
+                tick: 8,
+                duration: 5,
+            },
+        ];
+        for e in &events {
+            sink.record(e);
+        }
+        assert_eq!(sink.finish().unwrap(), 3);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let back: Vec<Event> = text.lines().map(|l| Event::from_json(l).unwrap()).collect();
+        assert_eq!(back, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn tee_sink_feeds_both() {
+        let mut a = VecSink::new();
+        let mut b = CounterSink::new();
+        {
+            let mut tee = TeeSink {
+                a: &mut a,
+                b: &mut b,
+            };
+            emit(&mut tee, || ev(1));
+            emit(&mut tee, || ev(2));
+        }
+        assert_eq!(a.events.len(), 2);
+        assert_eq!(b.summary.total(), 2);
+    }
+}

@@ -1,0 +1,545 @@
+//! Aggregation: per-kind counts, interval histograms and the energy ledger.
+//!
+//! A [`TraceSummary`] folds a stream of events into constant-size metrics:
+//! how many of each kind, power-of-two histograms of inter-backup intervals
+//! and outage durations, and an [`EnergyLedger`] summing the per-event
+//! energy deltas. The ledger is the trace's self-check: summed deltas must
+//! reconcile with the simulator's own `RunReport` totals (carried in the
+//! `run_end` event), or the instrumentation has a hole in it.
+
+use crate::event::{Event, EventKind, ParseError};
+use std::fmt;
+use std::io::BufRead;
+
+/// Summed per-event energy deltas, in nanojoules.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EnergyLedger {
+    /// Harvested income (from `energy_flush` events).
+    pub income_nj: f64,
+    /// Compute spend (from `energy_flush` events).
+    pub compute_nj: f64,
+    /// Backup spend (from `backup` events).
+    pub backup_nj: f64,
+    /// Restore spend (from `restore` events).
+    pub restore_nj: f64,
+    /// Backup energy avoided by live-only scoping (from `backup` events).
+    pub saved_nj: f64,
+}
+
+impl EnergyLedger {
+    /// Folds one event's energy contribution into the ledger.
+    pub fn observe(&mut self, ev: &Event) {
+        match ev {
+            Event::EnergyFlush {
+                income_nj,
+                compute_nj,
+                ..
+            } => {
+                self.income_nj += income_nj;
+                self.compute_nj += compute_nj;
+            }
+            Event::Backup {
+                cost_nj, saved_nj, ..
+            } => {
+                self.backup_nj += cost_nj;
+                self.saved_nj += saved_nj;
+            }
+            Event::Restore { cost_nj, .. } => self.restore_nj += cost_nj,
+            _ => {}
+        }
+    }
+
+    /// Checks this ledger against reference totals within a relative
+    /// tolerance, returning the per-field mismatches (empty = reconciled).
+    ///
+    /// Backup/restore sums are bit-exact (same addition order as the
+    /// simulator); income/compute are telescoping flush deltas, so they can
+    /// differ from the reference by a few ulps of subtraction rounding —
+    /// the default tolerance in [`TraceSummary::reconcile`] allows for
+    /// that and nothing more.
+    pub fn mismatches(&self, reference: &EnergyLedger, rel_tol: f64) -> Vec<LedgerMismatch> {
+        let fields = [
+            ("income_nj", self.income_nj, reference.income_nj),
+            ("compute_nj", self.compute_nj, reference.compute_nj),
+            ("backup_nj", self.backup_nj, reference.backup_nj),
+            ("restore_nj", self.restore_nj, reference.restore_nj),
+            ("saved_nj", self.saved_nj, reference.saved_nj),
+        ];
+        fields
+            .into_iter()
+            .filter(|&(_, got, want)| {
+                let scale = want.abs().max(got.abs()).max(1.0);
+                (got - want).abs() > rel_tol * scale
+            })
+            .map(|(field, got, want)| LedgerMismatch {
+                field,
+                ledger_nj: got,
+                reference_nj: want,
+            })
+            .collect()
+    }
+}
+
+/// One field where the ledger and the reference totals disagree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerMismatch {
+    /// Ledger field name.
+    pub field: &'static str,
+    /// Value summed from events, nJ.
+    pub ledger_nj: f64,
+    /// Value the `run_end` event reported, nJ.
+    pub reference_nj: f64,
+}
+
+impl fmt::Display for LedgerMismatch {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}: ledger {:.6} nJ vs run_end {:.6} nJ (delta {:+.6})",
+            self.field,
+            self.ledger_nj,
+            self.reference_nj,
+            self.ledger_nj - self.reference_nj
+        )
+    }
+}
+
+/// Power-of-two-binned histogram of tick counts.
+///
+/// Bin `i` holds samples in `[2^(i-1), 2^i)` ticks, with bin 0 holding the
+/// value 0. Good enough resolution for outage durations spanning 1 tick to
+/// minutes, in 32 fixed bins.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    bins: [u64; Self::BINS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Histogram {
+    const BINS: usize = 32;
+
+    /// Creates an empty histogram.
+    pub fn new() -> Self {
+        Histogram {
+            bins: [0; Self::BINS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let bin = if value == 0 {
+            0
+        } else {
+            ((64 - value.leading_zeros()) as usize).min(Self::BINS - 1)
+        };
+        self.bins[bin] += 1;
+        self.count += 1;
+        self.sum += value;
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Mean sample value (0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Smallest sample (None if empty).
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample (None if empty).
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Renders non-empty bins as `[lo,hi): count` lines with a bar chart.
+    pub fn render(&self, indent: &str) -> String {
+        let mut out = String::new();
+        if self.count == 0 {
+            out.push_str(indent);
+            out.push_str("(no samples)\n");
+            return out;
+        }
+        let peak = self.bins.iter().copied().max().unwrap_or(1).max(1);
+        for (i, &n) in self.bins.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let (lo, hi) = if i == 0 {
+                (0u64, 1u64)
+            } else {
+                (1u64 << (i - 1), 1u64 << i)
+            };
+            let bar_len = ((n as f64 / peak as f64) * 40.0).ceil() as usize;
+            let bar: String = "█".repeat(bar_len);
+            out.push_str(&format!("{indent}[{lo:>8}, {hi:>8}) {n:>8}  {bar}\n"));
+        }
+        out
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Totals carried by a `run_end` event, used to cross-check the ledger.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunEndTotals {
+    /// Final tick.
+    pub tick: u64,
+    /// Reference ledger from the simulator's own accounting.
+    pub ledger: EnergyLedger,
+    /// Backups performed.
+    pub backups: u64,
+    /// Restores performed.
+    pub restores: u64,
+    /// Frames committed.
+    pub frames: u64,
+    /// Lane-weighted forward progress.
+    pub forward_progress: u64,
+}
+
+/// Per-run slice of a trace (a trace file may hold several runs, each
+/// opened by a `run_start` event).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunSummary {
+    /// Label from the run's `run_start` event (empty for an implicit run).
+    pub label: String,
+    /// Events in this run (including its `run_start`/`run_end`).
+    pub events: u64,
+    /// Energy ledger summed from this run's events.
+    pub ledger: EnergyLedger,
+    /// Totals from this run's `run_end` event, if present.
+    pub end: Option<RunEndTotals>,
+}
+
+impl RunSummary {
+    fn new(label: String) -> Self {
+        RunSummary {
+            label,
+            events: 0,
+            ledger: EnergyLedger::default(),
+            end: None,
+        }
+    }
+}
+
+/// Streaming aggregation of a trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceSummary {
+    counts: [u64; EventKind::COUNT],
+    /// Ledger over the whole trace (all runs).
+    pub ledger: EnergyLedger,
+    /// Histogram of intervals between consecutive backups, in ticks.
+    pub inter_backup: Histogram,
+    /// Histogram of outage durations, in ticks.
+    pub outage_duration: Histogram,
+    /// Per-run breakdown, in file order.
+    pub runs: Vec<RunSummary>,
+    /// Total retention-bit failures across all `retention_decay` events.
+    pub retention_failures: u64,
+    last_backup_tick: Option<u64>,
+}
+
+impl TraceSummary {
+    /// Creates an empty summary.
+    pub fn new() -> Self {
+        TraceSummary {
+            counts: [0; EventKind::COUNT],
+            ledger: EnergyLedger::default(),
+            inter_backup: Histogram::new(),
+            outage_duration: Histogram::new(),
+            runs: Vec::new(),
+            retention_failures: 0,
+            last_backup_tick: None,
+        }
+    }
+
+    /// Folds one event into the summary.
+    pub fn observe(&mut self, ev: &Event) {
+        self.counts[ev.kind().index()] += 1;
+        self.ledger.observe(ev);
+        match ev {
+            Event::RunStart { label, .. } => {
+                self.runs.push(RunSummary::new(label.clone()));
+                self.last_backup_tick = None;
+            }
+            Event::Backup { tick, .. } => {
+                if let Some(prev) = self.last_backup_tick {
+                    self.inter_backup.record(tick.saturating_sub(prev));
+                }
+                self.last_backup_tick = Some(*tick);
+            }
+            Event::OutageEnd { duration, .. } => {
+                self.outage_duration.record(*duration);
+            }
+            Event::RetentionDecay { failures, .. } => {
+                self.retention_failures += failures;
+            }
+            _ => {}
+        }
+        // Runs are implicit when the file starts without a run_start.
+        if self.runs.is_empty() {
+            self.runs.push(RunSummary::new(String::new()));
+        }
+        let run = self.runs.last_mut().expect("pushed above");
+        run.events += 1;
+        run.ledger.observe(ev);
+        if let Event::RunEnd {
+            tick,
+            income_nj,
+            compute_nj,
+            backup_nj,
+            restore_nj,
+            saved_nj,
+            backups,
+            restores,
+            frames,
+            forward_progress,
+        } = ev
+        {
+            run.end = Some(RunEndTotals {
+                tick: *tick,
+                ledger: EnergyLedger {
+                    income_nj: *income_nj,
+                    compute_nj: *compute_nj,
+                    backup_nj: *backup_nj,
+                    restore_nj: *restore_nj,
+                    saved_nj: *saved_nj,
+                },
+                backups: *backups,
+                restores: *restores,
+                frames: *frames,
+                forward_progress: *forward_progress,
+            });
+        }
+    }
+
+    /// Count of one event kind.
+    pub fn count(&self, kind: EventKind) -> u64 {
+        self.counts[kind.index()]
+    }
+
+    /// Total events observed.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Relative tolerance used by [`reconcile`](Self::reconcile): covers
+    /// the subtraction rounding in telescoping income/compute flushes.
+    pub const RECONCILE_REL_TOL: f64 = 1e-9;
+
+    /// Cross-checks every run's summed ledger against its `run_end`
+    /// totals. Returns the mismatching runs (empty = all reconciled).
+    /// Runs without a `run_end` event (truncated traces) are skipped.
+    pub fn reconcile(&self) -> Vec<(usize, Vec<LedgerMismatch>)> {
+        self.runs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, run)| {
+                let end = run.end.as_ref()?;
+                let bad = run.ledger.mismatches(&end.ledger, Self::RECONCILE_REL_TOL);
+                (!bad.is_empty()).then_some((i, bad))
+            })
+            .collect()
+    }
+
+    /// Reads and folds a whole JSONL stream; returns the events too.
+    pub fn from_reader(reader: impl BufRead) -> Result<(Self, Vec<Event>), ReadError> {
+        let mut summary = TraceSummary::new();
+        let mut events = Vec::new();
+        for (lineno, line) in reader.lines().enumerate() {
+            let line = line.map_err(|e| ReadError::Io(lineno + 1, e))?;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let ev = Event::from_json(&line).map_err(|e| ReadError::Parse(lineno + 1, e))?;
+            summary.observe(&ev);
+            events.push(ev);
+        }
+        Ok((summary, events))
+    }
+}
+
+impl Default for TraceSummary {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Error reading a JSONL trace file.
+#[derive(Debug)]
+pub enum ReadError {
+    /// I/O failure at the given 1-based line number.
+    Io(usize, std::io::Error),
+    /// Malformed event at the given 1-based line number.
+    Parse(usize, ParseError),
+}
+
+impl fmt::Display for ReadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReadError::Io(line, e) => write!(f, "line {line}: {e}"),
+            ReadError::Parse(line, e) => write!(f, "line {line}: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_bins_powers_of_two() {
+        let mut h = Histogram::new();
+        for v in [0, 1, 1, 2, 3, 4, 7, 8, 1000] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 9);
+        assert_eq!(h.min(), Some(0));
+        assert_eq!(h.max(), Some(1000));
+        let rendered = h.render("  ");
+        assert!(rendered.contains('█'), "{rendered}");
+        // 1 lands in [1,2), 2..3 in [2,4), 4..7 in [4,8), 8 in [8,16).
+        assert!(rendered.contains("[       1,        2)        2"));
+        assert!(rendered.contains("[       2,        4)        2"));
+    }
+
+    #[test]
+    fn empty_histogram_renders_placeholder() {
+        assert!(Histogram::new().render("").contains("no samples"));
+        assert_eq!(Histogram::new().min(), None);
+        assert_eq!(Histogram::new().mean(), 0.0);
+    }
+
+    fn backup(tick: u64, cost: f64) -> Event {
+        Event::Backup {
+            tick,
+            cost_nj: cost,
+            saved_nj: 1.0,
+            live_fraction: 1.0,
+            bits: 8,
+        }
+    }
+
+    #[test]
+    fn ledger_sums_and_reconciles() {
+        let mut s = TraceSummary::new();
+        s.observe(&Event::RunStart {
+            tick: 0,
+            label: "x".into(),
+        });
+        s.observe(&backup(100, 10.0));
+        s.observe(&backup(150, 12.0));
+        s.observe(&Event::Restore {
+            tick: 200,
+            cost_nj: 3.0,
+            outage_ticks: 50,
+            rolled_forward: false,
+            cold: false,
+        });
+        s.observe(&Event::EnergyFlush {
+            tick: 200,
+            income_nj: 40.0,
+            compute_nj: 25.0,
+        });
+        s.observe(&Event::RunEnd {
+            tick: 300,
+            income_nj: 40.0,
+            compute_nj: 25.0,
+            backup_nj: 22.0,
+            restore_nj: 3.0,
+            saved_nj: 2.0,
+            backups: 2,
+            restores: 1,
+            frames: 0,
+            forward_progress: 0,
+        });
+        assert_eq!(s.count(EventKind::Backup), 2);
+        assert_eq!(s.inter_backup.count(), 1); // one 50-tick gap
+        assert_eq!(s.ledger.backup_nj, 22.0);
+        assert!(s.reconcile().is_empty(), "{:?}", s.reconcile());
+    }
+
+    #[test]
+    fn reconcile_flags_a_hole() {
+        let mut s = TraceSummary::new();
+        s.observe(&backup(10, 5.0));
+        // run_end claims 9 nJ of backups, but events only account for 5.
+        s.observe(&Event::RunEnd {
+            tick: 20,
+            income_nj: 0.0,
+            compute_nj: 0.0,
+            backup_nj: 9.0,
+            restore_nj: 0.0,
+            saved_nj: 1.0,
+            backups: 2,
+            restores: 0,
+            frames: 0,
+            forward_progress: 0,
+        });
+        let bad = s.reconcile();
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].1[0].field, "backup_nj");
+    }
+
+    #[test]
+    fn multiple_runs_split_on_run_start() {
+        let mut s = TraceSummary::new();
+        for run in 0..3 {
+            s.observe(&Event::RunStart {
+                tick: 0,
+                label: format!("run{run}"),
+            });
+            s.observe(&backup(5, 1.0));
+        }
+        assert_eq!(s.runs.len(), 3);
+        assert_eq!(s.runs[2].label, "run2");
+        for run in &s.runs {
+            assert_eq!(run.events, 2);
+            assert_eq!(run.ledger.backup_nj, 1.0);
+        }
+        // Inter-backup gaps never span a run boundary.
+        assert_eq!(s.inter_backup.count(), 0);
+    }
+
+    #[test]
+    fn from_reader_parses_jsonl() {
+        let text = format!(
+            "{}\n\n{}\n",
+            Event::RunStart {
+                tick: 0,
+                label: "r".into()
+            }
+            .to_json(),
+            backup(9, 2.5).to_json()
+        );
+        let (summary, events) = TraceSummary::from_reader(std::io::Cursor::new(text)).unwrap();
+        assert_eq!(events.len(), 2);
+        assert_eq!(summary.total(), 2);
+        let err = TraceSummary::from_reader(std::io::Cursor::new("{bad")).unwrap_err();
+        assert!(err.to_string().contains("line 1"));
+    }
+}
