@@ -2,27 +2,47 @@
 //!
 //! Exits non-zero if any kernel produces a diagnostic at warning severity
 //! or above. Pass `-v`/`--verbose` to also print informational
-//! diagnostics (backup live-set summaries).
+//! diagnostics (backup live-set summaries). Pass `--bitwidth` for the
+//! safe-bits report mode: per-kernel statically proven bitwidth floors,
+//! the per-basic-block safe-bits table, and the worst-case output error
+//! per governor setting (exits non-zero only on error-level bitwidth
+//! diagnostics).
 
-use nvp_analysis::{analyze_program, AnalysisConfig, Severity};
+use nvp_analysis::{
+    analyze_program, bitwidth_report, AnalysisConfig, Cfg, DeclaredBits, Severity, NEVER_SAFE,
+};
 use nvp_kernels::KernelId;
 use std::process::ExitCode;
 
+fn kernel_config(id: KernelId, mem_words: usize) -> AnalysisConfig {
+    let (minbits, maxbits) = id.declared_bits();
+    AnalysisConfig {
+        sanitized_regs: id.sanitized_regs(),
+        mem_words: Some(mem_words),
+        declared: Some(DeclaredBits::new(minbits, maxbits)),
+    }
+}
+
 fn main() -> ExitCode {
     let mut verbose = false;
+    let mut bitwidth = false;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "-v" | "--verbose" => verbose = true,
+            "--bitwidth" => bitwidth = true,
             "-h" | "--help" => {
-                println!("usage: nvp-lint [-v|--verbose]");
+                println!("usage: nvp-lint [-v|--verbose] [--bitwidth]");
                 return ExitCode::SUCCESS;
             }
             other => {
                 eprintln!("nvp-lint: unknown argument `{other}`");
-                eprintln!("usage: nvp-lint [-v|--verbose]");
+                eprintln!("usage: nvp-lint [-v|--verbose] [--bitwidth]");
                 return ExitCode::from(2);
             }
         }
+    }
+    if bitwidth {
+        return run_bitwidth_report(verbose);
     }
 
     let mut total_violations = 0usize;
@@ -30,9 +50,7 @@ fn main() -> ExitCode {
     for id in KernelId::ALL {
         let (w, h) = id.min_dims();
         let spec = id.spec(w, h);
-        let config = AnalysisConfig {
-            sanitized_regs: id.sanitized_regs(),
-        };
+        let config = kernel_config(id, spec.mem_words);
         let report = analyze_program(&spec.program, &config);
         let violations = report.count_at_least(Severity::Warning);
         total_violations += violations;
@@ -65,6 +83,82 @@ fn main() -> ExitCode {
         total_violations
     );
     if total_violations == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fmt_bits(b: u8) -> String {
+    if b >= NEVER_SAFE {
+        "unsafe".to_string()
+    } else {
+        b.to_string()
+    }
+}
+
+fn fmt_err(e: u64) -> String {
+    if e == u64::MAX {
+        "unbounded".to_string()
+    } else {
+        e.to_string()
+    }
+}
+
+/// The `--bitwidth` report: per-kernel floors, per-block safe-bits
+/// tables, per-setting output error bounds.
+fn run_bitwidth_report(verbose: bool) -> ExitCode {
+    let mut errors = 0usize;
+    for id in KernelId::ALL {
+        let (w, h) = id.min_dims();
+        let spec = id.spec(w, h);
+        let cfg = Cfg::build(&spec.program);
+        let config = kernel_config(id, spec.mem_words);
+        let report = bitwidth_report(&spec.program, &cfg, config.sanitized_regs, config.mem_words);
+        let (minbits, maxbits) = id.declared_bits();
+        println!(
+            "{:<16} {}x{:<3} floor {:<7} declared {}..={}",
+            id.name(),
+            w,
+            h,
+            fmt_bits(report.program_floor),
+            minbits,
+            maxbits,
+        );
+        println!("    block     pcs          safe-bits");
+        for b in &report.block_floors {
+            println!(
+                "    {:>4}   [{:>4}, {:>4})      {}",
+                cfg.block_of(b.start),
+                b.start,
+                b.end,
+                fmt_bits(b.floor)
+            );
+        }
+        let errs: Vec<String> = (1..=8u8)
+            .map(|bits| format!("{bits}b:{}", fmt_err(report.output_err[bits as usize - 1])))
+            .collect();
+        println!("    output-error by setting: {}", errs.join("  "));
+        if verbose {
+            for hz in &report.hazards {
+                println!("    hazard at pc {}: {:?}", hz.pc, hz.kind);
+            }
+        }
+        // E-level diagnostics from the full pipeline gate the exit code.
+        let diags = analyze_program(&spec.program, &config);
+        for d in diags.at_least(Severity::Error) {
+            errors += 1;
+            for line in d.to_string().lines() {
+                println!("    {line}");
+            }
+        }
+    }
+    println!(
+        "\n{} kernels checked, {} error-level bitwidth diagnostics",
+        KernelId::ALL.len(),
+        errors
+    );
+    if errors == 0 {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE

@@ -40,7 +40,44 @@ pub trait Analysis {
 
     /// Merges `other` into `into` at a control-flow join.
     fn join(&self, into: &mut Self::State, other: &Self::State);
+
+    /// Refines `state` as it flows along the CFG edge `from → to`
+    /// (forward analyses only; `from_instr` is the instruction at
+    /// `from`). Returning `None` marks the edge infeasible — the source
+    /// contributes nothing to the join at `to`. Used by the interval
+    /// domain to narrow branch operands on taken/fall-through edges.
+    ///
+    /// Implementations must be monotone: a larger `state` must map to a
+    /// larger (or equally infeasible-or-larger) refinement, or the
+    /// fixpoint iteration may diverge.
+    fn edge(
+        &self,
+        _from: usize,
+        _from_instr: Instr,
+        _to: usize,
+        state: &Self::State,
+    ) -> Option<Self::State> {
+        Some(state.clone())
+    }
+
+    /// Widening: accelerates convergence on infinite-height lattices.
+    ///
+    /// Called instead of plain replacement once a pc's out-state has
+    /// changed more than [`WIDEN_THRESHOLD`] times; `prev` is the last
+    /// stored state, `next` the freshly computed one. Must return an
+    /// upper bound of both. The default (return `next`) preserves the
+    /// behaviour of finite-height analyses, whose ascending chains
+    /// terminate on their own.
+    fn widen(&self, _prev: &Self::State, next: Self::State) -> Self::State {
+        next
+    }
 }
+
+/// Number of times one pc's out-state may change before the engine
+/// switches from plain joins to [`Analysis::widen`]. A small delay lets
+/// short ascending chains (constant → small range) settle exactly before
+/// ranges are jumped to widening thresholds.
+pub const WIDEN_THRESHOLD: u32 = 4;
 
 /// Fixpoint solution: the state before and after every instruction.
 ///
@@ -121,6 +158,7 @@ pub fn solve_region<A: Analysis>(
     for &e in entries {
         queued[e] = true;
     }
+    let mut change_count = vec![0u32; len];
 
     while let Some(pc) = worklist.pop() {
         queued[pc] = false;
@@ -141,9 +179,19 @@ pub fn solve_region<A: Analysis>(
             }
             let src_state = if forward { &after[s] } else { &before[s] };
             if let Some(st) = src_state {
-                match &mut incoming {
-                    Some(acc) => analysis.join(acc, st),
-                    None => incoming = Some(st.clone()),
+                // The edge hook may refine the state along this edge, or
+                // declare the edge infeasible (forward only).
+                let refined = if forward {
+                    let src_instr = program.fetch(s).expect("pc in range");
+                    analysis.edge(s, src_instr, pc, st)
+                } else {
+                    Some(st.clone())
+                };
+                if let Some(st) = refined {
+                    match &mut incoming {
+                        Some(acc) => analysis.join(acc, &st),
+                        None => incoming = Some(st),
+                    }
                 }
             }
         }
@@ -151,12 +199,20 @@ pub fn solve_region<A: Analysis>(
             continue; // nothing known yet; a source will requeue us
         };
         let instr = program.fetch(pc).expect("pc in range");
-        let outgoing = analysis.transfer(pc, instr, &incoming);
+        let mut outgoing = analysis.transfer(pc, instr, &incoming);
         let (at_in, at_out) = if forward {
             (&mut before[pc], &mut after[pc])
         } else {
             (&mut after[pc], &mut before[pc])
         };
+        if at_out.as_ref() != Some(&outgoing) {
+            change_count[pc] += 1;
+            if change_count[pc] > WIDEN_THRESHOLD {
+                if let Some(prev) = at_out.as_ref() {
+                    outgoing = analysis.widen(prev, outgoing);
+                }
+            }
+        }
         let changed = at_out.as_ref() != Some(&outgoing);
         *at_in = Some(incoming);
         if changed {
@@ -176,6 +232,98 @@ pub fn solve_region<A: Analysis>(
     }
 
     Solution { before, after }
+}
+
+/// Bounded descending (narrowing) sweeps for a **forward** analysis,
+/// refining a post-fixpoint [`Solution`] in place.
+///
+/// Widening overshoots (a loop counter widened to `+∞` even though the
+/// loop exit bounds it); starting *from* a sound fixpoint, re-applying the
+/// transfer functions in reverse post-order can only tighten states while
+/// remaining sound. The sweep count is bounded (`sweeps`) because plain
+/// descending iteration need not terminate on its own; each sweep stops
+/// early when nothing changes.
+///
+/// `entries` must be the same entry pcs the solution was solved with.
+///
+/// # Panics
+///
+/// Panics if `analysis` is backward.
+pub fn narrow<A: Analysis>(
+    program: &Program,
+    cfg: &Cfg,
+    analysis: &A,
+    entries: &[usize],
+    sol: &mut Solution<A::State>,
+    sweeps: usize,
+) {
+    assert_eq!(
+        analysis.direction(),
+        Direction::Forward,
+        "narrowing is implemented for forward analyses only"
+    );
+    let is_entry = {
+        let mut v = vec![false; program.len()];
+        for &e in entries {
+            if e < v.len() {
+                v[e] = true;
+            }
+        }
+        v
+    };
+    // Expand the block-level reverse post-order into instruction order.
+    let order: Vec<usize> = cfg
+        .rpo()
+        .into_iter()
+        .flat_map(|b| {
+            let blk = &cfg.blocks()[b];
+            blk.start..blk.end
+        })
+        .collect();
+    for _ in 0..sweeps {
+        let mut changed = false;
+        for &pc in &order {
+            // Only refine points the fixpoint reached: narrowing cannot
+            // make dead code live.
+            if sol.before[pc].is_none() {
+                continue;
+            }
+            let mut incoming: Option<A::State> = is_entry[pc].then(|| analysis.boundary());
+            for &s in cfg.preds(pc) {
+                if let Some(st) = &sol.after[s] {
+                    let src_instr = program.fetch(s).expect("pc in range");
+                    if let Some(st) = analysis.edge(s, src_instr, pc, st) {
+                        match &mut incoming {
+                            Some(acc) => analysis.join(acc, &st),
+                            None => incoming = Some(st),
+                        }
+                    }
+                }
+            }
+            let Some(incoming) = incoming else {
+                // Every incoming edge became infeasible: the point is
+                // unreachable after refinement.
+                if sol.before[pc].is_some() {
+                    changed = true;
+                }
+                sol.before[pc] = None;
+                sol.after[pc] = None;
+                continue;
+            };
+            let instr = program.fetch(pc).expect("pc in range");
+            let outgoing = analysis.transfer(pc, instr, &incoming);
+            if sol.after[pc].as_ref() != Some(&outgoing)
+                || sol.before[pc].as_ref() != Some(&incoming)
+            {
+                changed = true;
+            }
+            sol.before[pc] = Some(incoming);
+            sol.after[pc] = Some(outgoing);
+        }
+        if !changed {
+            break;
+        }
+    }
 }
 
 #[cfg(test)]

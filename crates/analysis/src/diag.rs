@@ -42,12 +42,22 @@ pub enum LintCode {
     /// `NVP-E003`: an approximate value is stored outside the declared
     /// approximable region.
     StoreOutsideRegion,
+    /// `NVP-E004`: at the kernel's declared minimum bitwidth a branch
+    /// operand or indirect base can deviate from the exact run (control
+    /// flow or addressing is not approximation-safe).
+    ApproxUnsafeAddressOrBranch,
+    /// `NVP-E005`: a branch operand or indirect base may stem from
+    /// concrete `i32` wraparound — unsafe at every bitwidth.
+    ExactValueOverflow,
     /// `NVP-W001`: a non-idempotent write inside a roll-forward region
     /// (write-after-read of the same NV location).
     WarHazard,
     /// `NVP-W002`: a register in the resume loop-variable mask is never
     /// read — its backed-up value can never influence resume matching.
     DeadResumeReg,
+    /// `NVP-W003`: the kernel's declared minimum bitwidth is provably
+    /// over-conservative — a lower floor is statically safe.
+    OverConservativeBits,
     /// `NVP-I001`: backup live-set report at a resume point.
     BackupLiveSet,
 }
@@ -59,8 +69,11 @@ impl LintCode {
             LintCode::BranchOnApprox => "NVP-E001",
             LintCode::AddressFromApprox => "NVP-E002",
             LintCode::StoreOutsideRegion => "NVP-E003",
+            LintCode::ApproxUnsafeAddressOrBranch => "NVP-E004",
+            LintCode::ExactValueOverflow => "NVP-E005",
             LintCode::WarHazard => "NVP-W001",
             LintCode::DeadResumeReg => "NVP-W002",
+            LintCode::OverConservativeBits => "NVP-W003",
             LintCode::BackupLiveSet => "NVP-I001",
         }
     }
@@ -70,8 +83,12 @@ impl LintCode {
         match self {
             LintCode::BranchOnApprox
             | LintCode::AddressFromApprox
-            | LintCode::StoreOutsideRegion => Severity::Error,
-            LintCode::WarHazard | LintCode::DeadResumeReg => Severity::Warning,
+            | LintCode::StoreOutsideRegion
+            | LintCode::ApproxUnsafeAddressOrBranch
+            | LintCode::ExactValueOverflow => Severity::Error,
+            LintCode::WarHazard | LintCode::DeadResumeReg | LintCode::OverConservativeBits => {
+                Severity::Warning
+            }
             LintCode::BackupLiveSet => Severity::Info,
         }
     }
@@ -160,7 +177,12 @@ mod tests {
     #[test]
     fn codes_are_stable_and_severities_fixed() {
         assert_eq!(LintCode::BranchOnApprox.as_str(), "NVP-E001");
+        assert_eq!(LintCode::ApproxUnsafeAddressOrBranch.as_str(), "NVP-E004");
+        assert_eq!(LintCode::ExactValueOverflow.as_str(), "NVP-E005");
         assert_eq!(LintCode::WarHazard.as_str(), "NVP-W001");
+        assert_eq!(LintCode::OverConservativeBits.as_str(), "NVP-W003");
+        assert_eq!(LintCode::ExactValueOverflow.severity(), Severity::Error);
+        assert_eq!(LintCode::OverConservativeBits.severity(), Severity::Warning);
         assert_eq!(LintCode::BackupLiveSet.severity(), Severity::Info);
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);

@@ -1,0 +1,711 @@
+//! Coupled value-range / worst-case-error abstract interpretation of the
+//! VM's approximation semantics.
+//!
+//! For a candidate governor setting `bits`, this pass runs a forward
+//! fixpoint (with widening, branch-edge refinement, and narrowing) whose
+//! abstract values track, per register:
+//!
+//! * an [`Interval`] containing the register's concrete value in **any**
+//!   single execution at ALU/mem bits ≥ `bits` (including the exact
+//!   `bits = 8` run — approximation bounds are monotone decreasing in
+//!   `bits`, so one solution covers the whole range);
+//! * a worst-case deviation `err` between a run at bits ≥ `bits` and the
+//!   exact run, valid as long as the two runs follow the same control
+//!   path. That is guaranteed when branch operands carry `err = 0` — the
+//!   condition the bitwidth lint checks; for kernel-sanitized operands
+//!   the bound downstream of the branch is a quality estimate, not a
+//!   guarantee (exactly the contract the paper's sanitized clamps opt
+//!   into).
+//!
+//! The machine model follows `nvp_isa::vm` precisely: ALU writes to
+//! AC-marked registers perturb by at most
+//! [`nvp_isa::alu_error_bound`]`(bits)`; stores of AC registers into the
+//! approximable region truncate by at most
+//! [`nvp_isa::mem_error_bound`]`(bits)`; `ldi` and loads are precise;
+//! wrapping arithmetic that may exceed `i32` poisons the value with the
+//! sticky [`Interval::wrapped`] flag and an unbounded `err`.
+//!
+//! Memory is summarized by two cells — the declared approximable region
+//! and everything outside it — holding the join of the deviations stored
+//! into them. The region cell starts at the memory truncation bound
+//! (frame inputs are stored truncated, `quickrun::run_fixed` semantics);
+//! the outside cell starts exact. Deviation queries go through
+//! [`dev_bound`], which caps `err` by the interval diameter: a value
+//! clamped into `[0, 8]` cannot deviate by more than 8 no matter how
+//! noisy its history (the cap is applied at query time only — capping
+//! inside the transfer function would break monotonicity once widening
+//! has pushed `err` to `∞`).
+
+use crate::cfg::Cfg;
+use crate::dataflow::{narrow, solve, Analysis, Direction, Solution};
+use crate::interval::Interval;
+use nvp_isa::{alu_error_bound, mem_error_bound, Instr, Program, Reg, NUM_REGS};
+
+/// Abstract register value: range plus worst-case deviation from the
+/// exact run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AbsVal {
+    /// Value range in any run at bits ≥ the analysed floor.
+    pub iv: Interval,
+    /// Worst-case |approx − exact| (saturating; `u64::MAX` = unbounded).
+    pub err: u64,
+}
+
+impl AbsVal {
+    fn top() -> AbsVal {
+        AbsVal {
+            iv: Interval::top(),
+            err: 0,
+        }
+    }
+}
+
+/// Usable deviation bound of an abstract value: the propagated error,
+/// capped by the value's range diameter (both runs live inside `iv`).
+pub fn dev_bound(av: &AbsVal) -> u64 {
+    av.err.min(av.iv.diam())
+}
+
+/// Summary of one memory partition (the approximable region, or
+/// everything outside it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemCell {
+    /// Join of deviations of all values stored here.
+    pub err: u64,
+    /// Some stored value may stem from concrete wraparound.
+    pub wrapped: bool,
+}
+
+/// The per-program-point state: all registers plus the two memory cells.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ApproxState {
+    /// Abstract value of each register (lane 0; lanes share bounds).
+    pub regs: [AbsVal; NUM_REGS],
+    /// Summary of the declared approximable region.
+    pub region: MemCell,
+    /// Summary of memory outside the region.
+    pub outside: MemCell,
+}
+
+impl ApproxState {
+    /// Abstract value of `r`.
+    pub fn reg(&self, r: Reg) -> &AbsVal {
+        &self.regs[r.index()]
+    }
+}
+
+/// The analysis, instantiated for one candidate bit floor.
+pub struct ErrorBoundAnalysis {
+    ac_regs: u16,
+    region: Option<std::ops::Range<u32>>,
+    /// Worst ALU perturbation at the analysed floor.
+    alu_bound: u64,
+    /// Worst store truncation at the analysed floor.
+    mem_bound: u64,
+    /// Per-pc register-range envelope from a previous (narrowed) solve.
+    /// When non-empty, the transfer clamps its input ranges to the
+    /// envelope — a reduced product with a proven invariant — so a
+    /// second ascent cannot repeat the first ascent's overshoot (stores
+    /// through not-yet-refined indices polluting the memory cells).
+    envelope: Vec<Option<ApproxState>>,
+}
+
+impl ErrorBoundAnalysis {
+    /// Builds the analysis for `program` at governor floor `bits`
+    /// (clamped to `1..=8`).
+    pub fn new(program: &Program, bits: u8) -> ErrorBoundAnalysis {
+        let bits = bits.clamp(1, 8);
+        ErrorBoundAnalysis {
+            ac_regs: program.ac_regs(),
+            region: program.approx_region(),
+            alu_bound: alu_error_bound(bits) as u64,
+            mem_bound: mem_error_bound(bits) as u64,
+            envelope: Vec::new(),
+        }
+    }
+
+    fn is_ac(&self, r: Reg) -> bool {
+        self.ac_regs & (1 << r.0) != 0
+    }
+
+    /// May the address range `[lo, hi]` touch the approximable region /
+    /// the outside? (Faulting addresses are excluded: the VM halts
+    /// instead of accessing.)
+    fn may_touch(&self, lo: i64, hi: i64) -> (bool, bool) {
+        match &self.region {
+            None => (false, true),
+            Some(r) => {
+                let in_region = hi >= r.start as i64 && lo < r.end as i64;
+                let outside = lo < r.start as i64 || hi >= r.end as i64;
+                (in_region, outside)
+            }
+        }
+    }
+
+    fn cell_of_abs(&self, addr: u32) -> impl Fn(&ApproxState) -> MemCell {
+        let (reg, out) = self.may_touch(addr as i64, addr as i64);
+        move |s| {
+            if reg {
+                s.region
+            } else {
+                debug_assert!(out);
+                s.outside
+            }
+        }
+    }
+
+    /// Models the hardware noise applied when the destination is
+    /// AC-marked: the interval grows by the worst perturbation and the
+    /// deviation absorbs it.
+    fn ac_write(&self, d: Reg, mut v: AbsVal) -> AbsVal {
+        if self.is_ac(d) && self.alu_bound > 0 {
+            let b = self.alu_bound as i64;
+            let mut iv = Interval::of_i64(v.iv.lo - b, v.iv.hi + b);
+            iv.wrapped |= v.iv.wrapped;
+            v.iv = iv;
+            v.err = v.err.saturating_add(self.alu_bound);
+        }
+        v
+    }
+
+    /// The value loaded from the cell(s) an access may read.
+    fn load_from(&self, s: &ApproxState, touch_region: bool, touch_outside: bool) -> AbsVal {
+        let mut err = 0u64;
+        let mut wrapped = false;
+        if touch_region {
+            err = err.max(s.region.err);
+            wrapped |= s.region.wrapped;
+        }
+        if touch_outside {
+            err = err.max(s.outside.err);
+            wrapped |= s.outside.wrapped;
+        }
+        AbsVal {
+            iv: Interval {
+                wrapped,
+                ..Interval::top()
+            },
+            err,
+        }
+    }
+
+    /// Weak update of the cell(s) an access may write.
+    fn store_to(
+        &self,
+        s: &mut ApproxState,
+        touch_region: bool,
+        touch_outside: bool,
+        src: &AbsVal,
+        src_is_ac: bool,
+    ) {
+        if touch_region {
+            // Region stores of AC sources truncate on top of the value's
+            // own deviation.
+            let extra = if src_is_ac { self.mem_bound } else { 0 };
+            let err = dev_bound(src).saturating_add(extra);
+            s.region.err = s.region.err.max(err);
+            s.region.wrapped |= src.iv.wrapped;
+        }
+        if touch_outside {
+            s.outside.err = s.outside.err.max(dev_bound(src));
+            s.outside.wrapped |= src.iv.wrapped;
+        }
+    }
+}
+
+/// Deviation bound of a pure unary op: zero for identical inputs,
+/// unbounded through possible wraparound, `propagated` otherwise.
+fn unary_err(a: &AbsVal, result_iv: &Interval, propagated: u64) -> u64 {
+    if a.err == 0 {
+        0
+    } else if result_iv.wrapped {
+        u64::MAX
+    } else {
+        propagated
+    }
+}
+
+/// Deviation bound of a pure binary op, before any AC noise.
+fn bin_err(op: Instr, a: &AbsVal, b: &AbsVal, result_iv: &Interval) -> u64 {
+    // Identical inputs through a deterministic op give identical outputs
+    // — even one that wraps (both runs wrap the same way).
+    if a.err == 0 && b.err == 0 {
+        return 0;
+    }
+    // Deviating inputs through possible wraparound make the deviation
+    // unbounded (one run may wrap where the other does not); the
+    // query-time diameter cap recovers what clamping re-establishes.
+    if result_iv.wrapped {
+        return u64::MAX;
+    }
+    match op {
+        Instr::Add(..) | Instr::Sub(..) => a.err.saturating_add(b.err),
+        Instr::Mul(..) => {
+            // |a'b' − ab| ≤ |a'|·|b'−b| + |b|·|a'−a|.
+            a.iv.max_abs()
+                .saturating_mul(b.err)
+                .saturating_add(b.iv.max_abs().saturating_mul(a.err))
+        }
+        Instr::And(..) | Instr::Or(..) | Instr::Xor(..) => {
+            if a.err == 0 && b.err == 0 {
+                0
+            } else {
+                u64::MAX
+            }
+        }
+        Instr::Min(..) | Instr::Max(..) => a.err.max(b.err),
+        _ => unreachable!("bin_err only called for binary ALU ops"),
+    }
+}
+
+impl Analysis for ErrorBoundAnalysis {
+    type State = ApproxState;
+
+    fn direction(&self) -> Direction {
+        Direction::Forward
+    }
+
+    fn boundary(&self) -> ApproxState {
+        ApproxState {
+            regs: [AbsVal::top(); NUM_REGS],
+            // Frame inputs land in the region pre-truncated to the memory
+            // bitwidth (`run_fixed` stores them with `mem_truncate`).
+            region: MemCell {
+                err: self.mem_bound,
+                wrapped: false,
+            },
+            outside: MemCell {
+                err: 0,
+                wrapped: false,
+            },
+        }
+    }
+
+    fn transfer(&self, pc: usize, instr: Instr, before: &ApproxState) -> ApproxState {
+        // In the second phase, clamp input ranges to the proven envelope
+        // before deciding which memory cells an access may touch.
+        let clamped;
+        let before = match self.envelope.get(pc).and_then(|e| e.as_ref()) {
+            Some(env) => {
+                clamped = clamp_to_envelope(before, env);
+                &clamped
+            }
+            None => before,
+        };
+        let mut s = before.clone();
+        let r = |x: Reg| before.regs[x.index()];
+        use Instr::*;
+        match instr {
+            Ldi(d, imm) => {
+                // Broadcast immediate: always precise, even to AC regs.
+                s.regs[d.index()] = AbsVal {
+                    iv: Interval::exact(imm),
+                    err: 0,
+                };
+            }
+            Mov(d, a) => s.regs[d.index()] = self.ac_write(d, r(a)),
+            Ld(d, a) => {
+                let cell = self.cell_of_abs(a)(before);
+                s.regs[d.index()] = AbsVal {
+                    iv: Interval {
+                        wrapped: cell.wrapped,
+                        ..Interval::top()
+                    },
+                    err: cell.err,
+                };
+            }
+            LdInd(d, base, off) => {
+                let b = r(base);
+                let (lo, hi) = (b.iv.lo + off as i64, b.iv.hi + off as i64);
+                let (tr, to) = self.may_touch(lo, hi);
+                s.regs[d.index()] = self.load_from(before, tr, to);
+            }
+            St(a, src) => {
+                let (tr, to) = self.may_touch(a as i64, a as i64);
+                let v = r(src);
+                self.store_to(&mut s, tr, to, &v, self.is_ac(src));
+            }
+            StInd(base, off, src) => {
+                let b = r(base);
+                let (lo, hi) = (b.iv.lo + off as i64, b.iv.hi + off as i64);
+                let (tr, to) = self.may_touch(lo, hi);
+                let v = r(src);
+                self.store_to(&mut s, tr, to, &v, self.is_ac(src));
+            }
+            Add(d, a, b)
+            | Sub(d, a, b)
+            | Mul(d, a, b)
+            | And(d, a, b)
+            | Or(d, a, b)
+            | Xor(d, a, b)
+            | Min(d, a, b)
+            | Max(d, a, b) => {
+                let (va, vb) = (r(a), r(b));
+                let iv = match instr {
+                    Add(..) => va.iv.add(&vb.iv),
+                    Sub(..) => va.iv.sub(&vb.iv),
+                    Mul(..) => va.iv.mul(&vb.iv),
+                    And(..) => va.iv.and(&vb.iv),
+                    Or(..) | Xor(..) => va.iv.or_xor(&vb.iv),
+                    Min(..) => va.iv.min(&vb.iv),
+                    Max(..) => va.iv.max(&vb.iv),
+                    _ => unreachable!(),
+                };
+                let err = bin_err(instr, &va, &vb, &iv);
+                s.regs[d.index()] = self.ac_write(d, AbsVal { iv, err });
+            }
+            AddI(d, a, i) => {
+                let va = r(a);
+                let iv = va.iv.add(&Interval::exact(i));
+                let err = unary_err(&va, &iv, va.err);
+                s.regs[d.index()] = self.ac_write(d, AbsVal { iv, err });
+            }
+            MulI(d, a, i) => {
+                let va = r(a);
+                let iv = va.iv.mul(&Interval::exact(i));
+                let err = unary_err(&va, &iv, va.err.saturating_mul(i.unsigned_abs() as u64));
+                s.regs[d.index()] = self.ac_write(d, AbsVal { iv, err });
+            }
+            Shl(d, a, sh) => {
+                let va = r(a);
+                let iv = va.iv.shl_const(sh as u32);
+                let err = unary_err(&va, &iv, va.err.saturating_mul(1u64 << (sh as u32 & 31)));
+                s.regs[d.index()] = self.ac_write(d, AbsVal { iv, err });
+            }
+            Shr(d, a, sh) => {
+                let va = r(a);
+                let iv = va.iv.shr_const(sh as u32);
+                // Floor division is 1-Lipschitz up to one extra unit.
+                let err = if va.err == 0 {
+                    0
+                } else {
+                    (va.err >> (sh as u32).min(31)).saturating_add(1)
+                };
+                s.regs[d.index()] = self.ac_write(d, AbsVal { iv, err });
+            }
+            MinI(d, a, i) | MaxI(d, a, i) => {
+                let va = r(a);
+                let iv = match instr {
+                    MinI(..) => va.iv.min(&Interval::exact(i)),
+                    _ => va.iv.max(&Interval::exact(i)),
+                };
+                s.regs[d.index()] = self.ac_write(d, AbsVal { iv, err: va.err });
+            }
+            Abs(d, a) => {
+                let va = r(a);
+                let iv = va.iv.abs();
+                let err = unary_err(&va, &iv, va.err);
+                s.regs[d.index()] = self.ac_write(d, AbsVal { iv, err });
+            }
+            Jmp(..) | Brz(..) | Brnz(..) | Brlt(..) | Brge(..) | Halt | Nop | MarkResume(..)
+            | FrameDone => {}
+        }
+        s
+    }
+
+    fn join(&self, into: &mut ApproxState, other: &ApproxState) {
+        for (a, b) in into.regs.iter_mut().zip(&other.regs) {
+            a.iv = a.iv.join(&b.iv);
+            a.err = a.err.max(b.err);
+        }
+        into.region.err = into.region.err.max(other.region.err);
+        into.region.wrapped |= other.region.wrapped;
+        into.outside.err = into.outside.err.max(other.outside.err);
+        into.outside.wrapped |= other.outside.wrapped;
+    }
+
+    fn edge(
+        &self,
+        from: usize,
+        from_instr: Instr,
+        to: usize,
+        state: &ApproxState,
+    ) -> Option<ApproxState> {
+        // Refine branch operands along taken / fall-through edges. When
+        // the target *is* the fall-through pc the two edges coincide and
+        // no refinement is possible.
+        let fall = to == from + 1;
+        use Instr::*;
+        let refined = |state: &ApproxState, r: Reg, f: &dyn Fn(Interval) -> Option<Interval>| {
+            let mut s = state.clone();
+            let av = &mut s.regs[r.index()];
+            av.iv = f(av.iv)?;
+            Some(s)
+        };
+        match from_instr {
+            Brz(r, t) if t as usize != from + 1 => {
+                if fall {
+                    // r != 0: trim a zero endpoint.
+                    refined(state, r, &|iv: Interval| {
+                        let mut iv = iv;
+                        if iv.lo == 0 && iv.hi == 0 {
+                            return None;
+                        }
+                        if iv.lo == 0 {
+                            iv.lo = 1;
+                        }
+                        if iv.hi == 0 {
+                            iv.hi = -1;
+                        }
+                        Some(iv)
+                    })
+                } else {
+                    refined(state, r, &|iv: Interval| iv.intersect(&Interval::exact(0)))
+                }
+            }
+            Brnz(r, t) if t as usize != from + 1 => {
+                if fall {
+                    refined(state, r, &|iv: Interval| iv.intersect(&Interval::exact(0)))
+                } else {
+                    refined(state, r, &|iv: Interval| {
+                        let mut iv = iv;
+                        if iv.lo == 0 && iv.hi == 0 {
+                            return None;
+                        }
+                        if iv.lo == 0 {
+                            iv.lo = 1;
+                        }
+                        if iv.hi == 0 {
+                            iv.hi = -1;
+                        }
+                        Some(iv)
+                    })
+                }
+            }
+            Brlt(a, b, t) | Brge(a, b, t) if t as usize != from + 1 => {
+                // `lt` holds on Brlt-taken and Brge-fall-through edges.
+                let lt = matches!(from_instr, Brlt(..)) != fall;
+                let mut s = state.clone();
+                let (ia, ib) = (s.regs[a.index()].iv, s.regs[b.index()].iv);
+                let (na, nb) = if lt {
+                    // a < b: a ≤ b.hi − 1, b ≥ a.lo + 1.
+                    (
+                        ia.intersect(&Interval::of_i64(i32::MIN as i64, ib.hi - 1))?,
+                        ib.intersect(&Interval::of_i64(ia.lo + 1, i32::MAX as i64))?,
+                    )
+                } else {
+                    // a ≥ b: a ≥ b.lo, b ≤ a.hi.
+                    (
+                        ia.intersect(&Interval::of_i64(ib.lo, i32::MAX as i64))?,
+                        ib.intersect(&Interval::of_i64(i32::MIN as i64, ia.hi))?,
+                    )
+                };
+                s.regs[a.index()].iv = na;
+                s.regs[b.index()].iv = nb;
+                Some(s)
+            }
+            _ => Some(state.clone()),
+        }
+    }
+
+    fn widen(&self, prev: &ApproxState, next: ApproxState) -> ApproxState {
+        let mut w = next;
+        for (a, p) in w.regs.iter_mut().zip(&prev.regs) {
+            a.iv = Interval::widen(&p.iv, &a.iv);
+            let grown = a.err.max(p.err);
+            a.err = if grown > p.err { u64::MAX } else { grown };
+        }
+        let cell = |c: &mut MemCell, p: &MemCell| {
+            let grown = c.err.max(p.err);
+            c.err = if grown > p.err { u64::MAX } else { grown };
+            c.wrapped |= p.wrapped;
+        };
+        cell(&mut w.region, &prev.region);
+        cell(&mut w.outside, &prev.outside);
+        w
+    }
+}
+
+/// Intersects a state's register ranges with a proven envelope.
+/// Both arguments over-approximate the same concrete state, so the
+/// intersection is sound; an abstractly-empty intersection (possible
+/// from independent slop) falls back to the unclamped value.
+fn clamp_to_envelope(s: &ApproxState, env: &ApproxState) -> ApproxState {
+    let mut out = s.clone();
+    for (a, e) in out.regs.iter_mut().zip(&env.regs) {
+        if let Some(mut iv) = a.iv.intersect(&e.iv) {
+            iv.wrapped = a.iv.wrapped && e.iv.wrapped;
+            a.iv = iv;
+        }
+        a.err = a.err.min(e.err);
+    }
+    out
+}
+
+/// Pointwise meet of two sound solutions for the same program point.
+fn meet_states(a: &ApproxState, b: &ApproxState) -> ApproxState {
+    let mut out = a.clone();
+    for (x, y) in out.regs.iter_mut().zip(&b.regs) {
+        if let Some(mut iv) = x.iv.intersect(&y.iv) {
+            iv.wrapped = x.iv.wrapped && y.iv.wrapped;
+            x.iv = iv;
+        }
+        x.err = x.err.min(y.err);
+    }
+    let cell = |x: &mut MemCell, y: &MemCell| {
+        x.err = x.err.min(y.err);
+        x.wrapped = x.wrapped && y.wrapped;
+    };
+    cell(&mut out.region, &b.region);
+    cell(&mut out.outside, &b.outside);
+    out
+}
+
+/// Solves the coupled analysis for `program` at floor `bits`: ascending
+/// fixpoint with widening, two narrowing sweeps to pull widened loop
+/// counters back under their branch bounds, then a second ascent clamped
+/// to the narrowed envelope. The second phase exists because the first
+/// ascent pollutes the memory cells through stores whose index registers
+/// have not been branch-refined yet; that overshoot is self-sustaining
+/// around loop back-edges, where narrowing cannot drain it. The result
+/// is the pointwise meet of the two (individually sound) solutions.
+pub fn solve_error_bounds(program: &Program, cfg: &Cfg, bits: u8) -> Solution<ApproxState> {
+    let analysis = ErrorBoundAnalysis::new(program, bits);
+    let mut sol = solve(program, cfg, &analysis);
+    if program.is_empty() {
+        return sol;
+    }
+    narrow(program, cfg, &analysis, &[0], &mut sol, 2);
+    let clamped = ErrorBoundAnalysis {
+        envelope: sol.before.clone(),
+        ..analysis
+    };
+    let mut sol2 = solve(program, cfg, &clamped);
+    narrow(program, cfg, &clamped, &[0], &mut sol2, 2);
+    let meet_opt = |a: &mut Option<ApproxState>, b: &Option<ApproxState>| match (a.as_ref(), b) {
+        (Some(x), Some(y)) => *a = Some(meet_states(x, y)),
+        _ => *a = None,
+    };
+    for (a, b) in sol2.before.iter_mut().zip(&sol.before) {
+        meet_opt(a, b);
+    }
+    for (a, b) in sol2.after.iter_mut().zip(&sol.after) {
+        meet_opt(a, b);
+    }
+    sol2
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nvp_isa::{ProgramBuilder, Reg};
+
+    fn solve_at(p: &Program, bits: u8) -> Solution<ApproxState> {
+        solve_error_bounds(p, &Cfg::build(p), bits)
+    }
+
+    #[test]
+    fn counting_loop_interval_recovered_by_narrowing() {
+        // i = 0; do { i += 1 } while (i < 10): at the exit, i == 10 and at
+        // the loop head i ∈ [0, 9] despite widening to the ladder.
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg(0), Reg(1));
+        b.ldi(i, 0).ldi(n, 10);
+        let top = b.label();
+        b.place(top);
+        b.addi(i, i, 1).brlt(i, n, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let sol = solve_at(&p, 8);
+        let head = sol.before_at(2).unwrap().reg(i).iv;
+        assert_eq!((head.lo, head.hi), (0, 9), "loop head");
+        let exit = sol.before_at(4).unwrap().reg(i).iv;
+        assert_eq!((exit.lo, exit.hi), (10, 10), "loop exit");
+        assert!(!exit.wrapped);
+        assert_eq!(sol.before_at(4).unwrap().reg(i).err, 0);
+    }
+
+    #[test]
+    fn ac_arithmetic_accumulates_alu_noise() {
+        let mut b = ProgramBuilder::new();
+        b.mark_ac(Reg(4));
+        b.ldi(Reg(4), 100)
+            .addi(Reg(4), Reg(4), 1) // AC write: one noise application
+            .addi(Reg(4), Reg(4), 1) // and another
+            .halt();
+        let p = b.build().unwrap();
+        for bits in [1u8, 4, 7] {
+            let sol = solve_at(&p, bits);
+            let v = *sol.before_at(3).unwrap().reg(Reg(4));
+            let per_op = alu_error_bound(bits) as u64;
+            assert_eq!(v.err, 2 * per_op, "bits={bits}");
+            assert!(v.iv.contains(102));
+            assert_eq!(v.iv.diam(), 4 * per_op, "bits={bits}");
+        }
+    }
+
+    #[test]
+    fn clamp_caps_the_queryable_deviation() {
+        // A noisy AC value clamped into [0, 8]: err stays large but the
+        // query-time bound collapses to the diameter.
+        let mut b = ProgramBuilder::new();
+        b.mark_ac(Reg(4)).approx_region(0, 50);
+        b.ld(Reg(4), 10) // unknown region value
+            .add(Reg(4), Reg(4), Reg(4))
+            .maxi(Reg(5), Reg(4), 0)
+            .mini(Reg(5), Reg(5), 8)
+            .halt();
+        let p = b.build().unwrap();
+        let sol = solve_at(&p, 1);
+        let v = sol.before_at(4).unwrap().reg(Reg(5));
+        assert!(v.err > 8, "raw error is unbounded-ish: {}", v.err);
+        assert_eq!(dev_bound(v), 8);
+        assert_eq!((v.iv.lo, v.iv.hi), (0, 8));
+    }
+
+    #[test]
+    fn region_store_and_load_round_trips_the_truncation_bound() {
+        let mut b = ProgramBuilder::new();
+        b.mark_ac(Reg(4)).approx_region(100, 200);
+        b.ldi(Reg(4), 0)
+            .st(150, Reg(4)) // AC store into the region: truncation
+            .ld(Reg(5), 150)
+            .halt();
+        let p = b.build().unwrap();
+        let sol = solve_at(&p, 2);
+        let v = sol.before_at(3).unwrap().reg(Reg(5));
+        // ldi is precise, so the only deviation is the store truncation
+        // (the boundary region error is the same bound).
+        assert_eq!(v.err, mem_error_bound(2) as u64);
+        // A precise store outside the region stays exact.
+        let mut b2 = ProgramBuilder::new();
+        b2.approx_region(100, 200);
+        b2.ldi(Reg(0), 7).st(10, Reg(0)).ld(Reg(1), 10).halt();
+        let p2 = b2.build().unwrap();
+        let sol2 = solve_at(&p2, 1);
+        assert_eq!(sol2.before_at(3).unwrap().reg(Reg(1)).err, 0);
+    }
+
+    #[test]
+    fn overflowing_counter_is_flagged_wrapped() {
+        // i starts huge and the loop adds a huge step: the widened range
+        // reaches the i32 rim and addition wraps.
+        let mut b = ProgramBuilder::new();
+        let (i, n) = (Reg(0), Reg(1));
+        b.ldi(i, i32::MAX - 3).ldi(n, 0);
+        let top = b.label();
+        b.place(top);
+        b.addi(i, i, 1).brlt(n, i, top);
+        b.halt();
+        let p = b.build().unwrap();
+        let sol = solve_at(&p, 8);
+        let head = sol.before_at(2).unwrap().reg(i).iv;
+        assert!(
+            head.wrapped,
+            "counter must be flagged as wrapping: {head:?}"
+        );
+    }
+
+    #[test]
+    fn brz_refinement_proves_zero_on_taken_edge() {
+        let mut b = ProgramBuilder::new();
+        let zero = b.label();
+        b.ld(Reg(0), 5).brz(Reg(0), zero).halt();
+        b.place(zero);
+        b.addi(Reg(1), Reg(0), 0).halt();
+        let p = b.build().unwrap();
+        let sol = solve_at(&p, 8);
+        let v = sol.before_at(3).unwrap().reg(Reg(0)).iv;
+        assert_eq!((v.lo, v.hi), (0, 0));
+    }
+}

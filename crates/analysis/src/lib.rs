@@ -17,7 +17,15 @@
 //! * [`war`] — write-after-read / idempotency hazards inside
 //!   roll-forward regions (`NVP-W001`);
 //! * [`backup_liveness`] — live register sets at backup points, feeding
-//!   the sim's live-only backup scope (`NVP-I001`, `NVP-W002`).
+//!   the sim's live-only backup scope (`NVP-I001`, `NVP-W002`);
+//! * [`lattice`] — the shared symbolic-memory naming and join/meet
+//!   combinators the memory-aware passes are built on;
+//! * [`interval`] / [`error_bound`] — a value-range abstract domain with
+//!   widening/narrowing, coupled with worst-case deviation bounds for
+//!   the VM's approximation semantics;
+//! * [`safe_bits`] — statically proven safe bitwidth floors per
+//!   instruction/block/program (`NVP-E004`, `NVP-E005`, `NVP-W003`),
+//!   feeding `nvp-lint --bitwidth` and the sim's governor clamp.
 //!
 //! Passes share a [`PassContext`] and report [`Diagnostic`]s with stable
 //! lint codes. [`analyze_program`] runs the default pipeline; the
@@ -42,16 +50,25 @@ pub mod backup_liveness;
 pub mod cfg;
 pub mod dataflow;
 pub mod diag;
+pub mod error_bound;
+pub mod interval;
+pub mod lattice;
 pub mod liveness;
 pub mod reaching;
+pub mod safe_bits;
 pub mod taint;
 pub mod war;
 
 pub use backup_liveness::{BackupLiveness, BackupLivenessPass};
 pub use cfg::Cfg;
 pub use diag::{Diagnostic, LintCode, Severity};
+pub use error_bound::{dev_bound, solve_error_bounds, AbsVal, ApproxState, ErrorBoundAnalysis};
+pub use interval::Interval;
 pub use liveness::{liveness, Liveness};
 pub use reaching::{reaching, Reaching, ENTRY_DEF};
+pub use safe_bits::{
+    bitwidth_report, static_floor, BitwidthPass, BitwidthReport, DeclaredBits, NEVER_SAFE,
+};
 pub use taint::TaintPass;
 pub use war::WarPass;
 
@@ -65,6 +82,12 @@ pub struct AnalysisConfig {
     /// Mirrors the `sanitized` argument of the legacy
     /// `verify_ac_isolation_with`.
     pub sanitized_regs: u16,
+    /// Total data-memory words, when known (kernel specs carry it). Lets
+    /// the bitwidth pass prove sanitized address ranges in bounds.
+    pub mem_words: Option<usize>,
+    /// The kernel's declared governor operating range. `None` disables
+    /// the bitwidth lints (there is no declaration to judge).
+    pub declared: Option<DeclaredBits>,
 }
 
 /// Everything a pass needs to run: the program, its CFG, and the shared
@@ -87,12 +110,14 @@ pub trait Pass {
     fn run(&self, cx: &PassContext<'_>) -> Vec<Diagnostic>;
 }
 
-/// The default lint pipeline: taint, WAR-hazard, backup-liveness.
+/// The default lint pipeline: taint, WAR-hazard, backup-liveness,
+/// bitwidth safety.
 pub fn default_passes() -> Vec<Box<dyn Pass>> {
     vec![
         Box::new(TaintPass),
         Box::new(WarPass),
         Box::new(BackupLivenessPass),
+        Box::new(BitwidthPass),
     ]
 }
 

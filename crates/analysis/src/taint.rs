@@ -34,23 +34,10 @@
 use crate::cfg::Cfg;
 use crate::dataflow::{solve, Analysis, Direction};
 use crate::diag::{Diagnostic, LintCode};
-use crate::reaching::ENTRY_DEF;
+use crate::lattice::{entry_defs, join_defs, sym_for, union_into, DefSite, Sym};
 use crate::{Pass, PassContext};
 use nvp_isa::{Instr, Program, Reg, NUM_REGS};
 use std::collections::BTreeSet;
-
-/// A definition site for symbolic address naming.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub(crate) enum DefSite {
-    /// Exactly one definition reaches (pc, or [`ENTRY_DEF`]).
-    Unique(usize),
-    /// Multiple definitions merged; the value is not a stable symbol.
-    Merged,
-}
-
-/// A symbolic memory location: value of `base` as defined at `def`, plus
-/// `offset` words.
-pub(crate) type Sym = (u8, usize, i32);
 
 /// The taint lattice element at one program point.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -72,7 +59,7 @@ impl TaintState {
     fn entry(ac_regs: u16) -> Self {
         TaintState {
             regs: ac_regs,
-            defs: [DefSite::Unique(ENTRY_DEF); NUM_REGS],
+            defs: entry_defs(),
             mem_abs: BTreeSet::new(),
             mem_sym: BTreeSet::new(),
             unknown_offs: BTreeSet::new(),
@@ -100,10 +87,7 @@ impl TaintState {
 
     /// Symbol for `base + off`, if the base has a unique reaching def.
     pub(crate) fn sym(&self, base: Reg, off: i32) -> Option<Sym> {
-        match self.defs[base.index()] {
-            DefSite::Unique(d) => Some((base.0, d, off)),
-            DefSite::Merged => None,
-        }
+        sym_for(&self.defs, base, off)
     }
 }
 
@@ -189,14 +173,10 @@ impl Analysis for TaintAnalysis {
 
     fn join(&self, into: &mut TaintState, other: &TaintState) {
         into.regs |= other.regs;
-        for (a, b) in into.defs.iter_mut().zip(&other.defs) {
-            if *a != *b {
-                *a = DefSite::Merged;
-            }
-        }
-        into.mem_abs.extend(other.mem_abs.iter().copied());
-        into.mem_sym.extend(other.mem_sym.iter().copied());
-        into.unknown_offs.extend(other.unknown_offs.iter().copied());
+        join_defs(&mut into.defs, &other.defs);
+        union_into(&mut into.mem_abs, &other.mem_abs);
+        union_into(&mut into.mem_sym, &other.mem_sym);
+        union_into(&mut into.unknown_offs, &other.unknown_offs);
     }
 }
 

@@ -32,8 +32,7 @@
 use crate::cfg::Cfg;
 use crate::dataflow::{solve_region, Analysis, Direction};
 use crate::diag::{Diagnostic, LintCode};
-use crate::reaching::ENTRY_DEF;
-use crate::taint::{DefSite, Sym};
+use crate::lattice::{entry_defs, intersect_into, join_defs, sym_for, union_into, DefSite, Sym};
 use crate::{Pass, PassContext};
 use nvp_isa::{Instr, Program, NUM_REGS};
 use std::collections::BTreeSet;
@@ -57,7 +56,7 @@ struct WarState {
 impl WarState {
     fn entry() -> Self {
         WarState {
-            defs: [DefSite::Unique(ENTRY_DEF); NUM_REGS],
+            defs: entry_defs(),
             exposed_abs: BTreeSet::new(),
             exposed_sym: BTreeSet::new(),
             written_abs: BTreeSet::new(),
@@ -67,10 +66,7 @@ impl WarState {
     }
 
     fn sym(&self, base: nvp_isa::Reg, off: i32) -> Option<Sym> {
-        match self.defs[base.index()] {
-            DefSite::Unique(d) => Some((base.0, d, off)),
-            DefSite::Merged => None,
-        }
+        sym_for(&self.defs, base, off)
     }
 }
 
@@ -118,24 +114,12 @@ impl Analysis for WarAnalysis {
     }
 
     fn join(&self, into: &mut WarState, other: &WarState) {
-        for (a, b) in into.defs.iter_mut().zip(&other.defs) {
-            if *a != *b {
-                *a = DefSite::Merged;
-            }
-        }
+        join_defs(&mut into.defs, &other.defs);
         // MAY facts union; MUST facts intersect.
-        into.exposed_abs.extend(other.exposed_abs.iter().copied());
-        into.exposed_sym.extend(other.exposed_sym.iter().copied());
-        into.written_abs = into
-            .written_abs
-            .intersection(&other.written_abs)
-            .copied()
-            .collect();
-        into.written_sym = into
-            .written_sym
-            .intersection(&other.written_sym)
-            .copied()
-            .collect();
+        union_into(&mut into.exposed_abs, &other.exposed_abs);
+        union_into(&mut into.exposed_sym, &other.exposed_sym);
+        intersect_into(&mut into.written_abs, &other.written_abs);
+        intersect_into(&mut into.written_sym, &other.written_sym);
         into.ind_covered &= other.ind_covered;
     }
 }

@@ -1,0 +1,212 @@
+//! Differential soundness tests for the value-range / error-bound
+//! abstract interpretation: random programs from the lint-clean safe
+//! vocabulary are executed concretely, in lockstep, at full precision and
+//! at a reduced bitwidth, and every abstract claim is checked against the
+//! pair of runs at every retired instruction:
+//!
+//! * both runs stay on the same control path (branches only consume
+//!   precise registers, the condition the bitwidth lint enforces);
+//! * every register value of **either** run lies in the solved
+//!   before-interval at the current pc;
+//! * the deviation between the runs never exceeds [`dev_bound`], for
+//!   registers and for the two memory summaries;
+//! * every concretely reached pc has an abstract state (reachability is
+//!   never under-approximated).
+//!
+//! At `bits = 8` the approximate run *is* the exact run, so the same
+//! harness doubles as a check that the deterministic-op rule (zero input
+//! error ⇒ zero output error, wraparound or not) is honoured end to end.
+
+use nvp_analysis::{dev_bound, solve_error_bounds, ApproxState, Cfg};
+use nvp_isa::{mem_truncate, ApproxConfig, Program, ProgramBuilder, Reg, Vm, NUM_REGS};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// Precise vocabulary registers (`r0`/`r1` are reserved for the loop).
+const PRECISE: [Reg; 2] = [Reg(2), Reg(3)];
+/// Approximation-candidate vocabulary registers.
+const AC: [Reg; 4] = [Reg(12), Reg(13), Reg(14), Reg(15)];
+/// Memory image size of the generated programs.
+const MEM_WORDS: usize = 256;
+
+/// Builds a single counted loop over ops drawn from the safe vocabulary:
+/// precise control registers, AC data registers, loads from `[100..150)`
+/// and stores to `[150..200)` inside the region `[100..200)`.
+fn build(raw: &[u32], trips: u32) -> Program {
+    let mut b = ProgramBuilder::new();
+    for r in AC {
+        b.mark_ac(r);
+    }
+    b.approx_region(100, 200);
+    b.mark_resume(0);
+    let (cnt, lim) = (Reg(0), Reg(1));
+    b.ldi(cnt, 0).ldi(lim, trips as i32);
+    let top = b.label();
+    b.place(top);
+    for &word in raw {
+        let p = PRECISE[(word >> 8) as usize % 2];
+        let a = AC[(word >> 16) as usize % 4];
+        let a2 = AC[(word >> 24) as usize % 4];
+        match word % 8 {
+            0 => b.ldi(p, (word >> 3) as i32 % 256),
+            1 => b.addi(p, p, (word >> 5) as i32 % 16),
+            2 => b.add(a, a, a2),
+            3 => b.ld(a, 100 + (word >> 4) % 50),
+            4 => b.st(150 + (word >> 4) % 50, a),
+            5 => b.muli(a, a, (word >> 6) as i32 % 8),
+            6 => b.sub(a, a, a2),
+            _ => b.abs(a, a),
+        };
+    }
+    b.addi(cnt, cnt, 1);
+    b.brlt(cnt, lim, top);
+    b.frame_done().halt();
+    b.build().expect("generated program must assemble")
+}
+
+/// Builds a VM with the region inputs stored pre-truncated to the
+/// configuration's memory bitwidth (`run_fixed` frame-load semantics —
+/// exactly the deviation the analysis charges the region cell at entry).
+fn vm_at(program: &Program, cfg: ApproxConfig, inputs: &[i32], seed: u64) -> Vm {
+    let mut vm = Vm::new(program.clone(), MEM_WORDS);
+    let mem_bits = cfg.effective_mem_bits(0);
+    for (i, &v) in inputs.iter().enumerate() {
+        vm.mem_mut().write(100 + i, 0, mem_truncate(v, mem_bits), 8);
+    }
+    vm.set_approx(cfg);
+    vm.seed_noise(seed);
+    vm
+}
+
+/// Checks one abstract register claim against the concrete pair.
+fn check_reg(st: &ApproxState, r: usize, v8: i32, vb: i32, pc: usize, program: &Program) {
+    let av = &st.regs[r];
+    assert!(
+        av.iv.contains(v8) && av.iv.contains(vb),
+        "pc {pc} r{r}: {v8}/{vb} outside [{}, {}]\n{}",
+        av.iv.lo,
+        av.iv.hi,
+        program.disassemble()
+    );
+    let dev = (vb as i64 - v8 as i64).unsigned_abs();
+    assert!(
+        dev <= dev_bound(av),
+        "pc {pc} r{r}: deviation {dev} > bound {} (err {}, diam {})\n{}",
+        dev_bound(av),
+        av.err,
+        av.iv.diam(),
+        program.disassemble()
+    );
+}
+
+/// Worst concrete deviation over an address range.
+fn mem_dev(vm8: &Vm, vmb: &Vm, addrs: impl Iterator<Item = usize>) -> u64 {
+    addrs
+        .map(|a| (vmb.mem().read(a, 0) as i64 - vm8.mem().read(a, 0) as i64).unsigned_abs())
+        .max()
+        .unwrap_or(0)
+}
+
+/// Runs the exact and `bits`-wide executions in lockstep and checks every
+/// abstract claim at every step.
+fn lockstep(program: &Program, bits: u8, inputs: &[i32], seed: u64) {
+    let cfg = Cfg::build(program);
+    let sol = solve_error_bounds(program, &cfg, bits);
+
+    let mut vm8 = vm_at(program, ApproxConfig::fixed(8), inputs, seed);
+    let mut vmb = vm_at(program, ApproxConfig::fixed(bits), inputs, seed);
+
+    for step in 0.. {
+        assert!(step < 100_000, "generated program must halt quickly");
+        assert_eq!(
+            vm8.pc(),
+            vmb.pc(),
+            "control paths diverged at step {step}\n{}",
+            program.disassemble()
+        );
+        if vm8.halted() {
+            assert!(vmb.halted(), "approx run must halt with the exact run");
+            break;
+        }
+        let pc = vm8.pc();
+        let st = sol.before[pc]
+            .as_ref()
+            .unwrap_or_else(|| panic!("reached pc {pc} has no abstract state"));
+        for r in 0..NUM_REGS {
+            check_reg(
+                st,
+                r,
+                vm8.reg(Reg(r as u8), 0),
+                vmb.reg(Reg(r as u8), 0),
+                pc,
+                program,
+            );
+        }
+        if st.region.err < u64::MAX {
+            let dev = mem_dev(&vm8, &vmb, 100..200);
+            assert!(
+                dev <= st.region.err,
+                "pc {pc}: region deviation {dev} > cell bound {}",
+                st.region.err
+            );
+        }
+        if st.outside.err < u64::MAX {
+            let dev = mem_dev(&vm8, &vmb, (0..100).chain(200..MEM_WORDS));
+            assert!(
+                dev <= st.outside.err,
+                "pc {pc}: outside deviation {dev} > cell bound {}",
+                st.outside.err
+            );
+        }
+        vm8.step().expect("exact run must not fault");
+        vmb.step().expect("approx run must not fault");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The solved intervals contain both runs, and the deviation between
+    /// the runs respects every register and memory error bound, at every
+    /// retired instruction, for every governor floor.
+    #[test]
+    fn abstract_state_covers_concrete_lockstep_runs(
+        raw in vec(any::<u32>(), 1..40),
+        trips in 1u32..6,
+        inputs in vec(-2000i32..2000, 50..51),
+        bits in 1u8..9,
+        seed in any::<u64>(),
+    ) {
+        let p = build(&raw, trips);
+        lockstep(&p, bits, &inputs, seed);
+    }
+
+    /// At full precision the "approximate" run is bit-identical to the
+    /// exact run — registers and all of memory — so every deviation bound
+    /// at `bits = 8` must collapse to zero along the whole execution (the
+    /// deterministic-op rule: equal inputs give equal outputs even when
+    /// the machine wraps).
+    #[test]
+    fn full_precision_lockstep_never_deviates(
+        raw in vec(any::<u32>(), 1..40),
+        trips in 1u32..6,
+        inputs in vec(any::<i32>(), 50..51),
+        seed in any::<u64>(),
+    ) {
+        let p = build(&raw, trips);
+        let mut vm8 = vm_at(&p, ApproxConfig::fixed(8), &inputs, 1);
+        let mut vmb = vm_at(&p, ApproxConfig::fixed(8), &inputs, seed);
+        lockstep(&p, 8, &inputs, seed);
+        for _ in 0..100_000 {
+            if vm8.halted() {
+                break;
+            }
+            vm8.step().expect("must not fault");
+            vmb.step().expect("must not fault");
+        }
+        for r in 0..NUM_REGS {
+            prop_assert_eq!(vm8.reg(Reg(r as u8), 0), vmb.reg(Reg(r as u8), 0));
+        }
+        prop_assert_eq!(mem_dev(&vm8, &vmb, 0..MEM_WORDS), 0);
+    }
+}

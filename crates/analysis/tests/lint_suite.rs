@@ -1,19 +1,24 @@
 //! Integration tests: the whole kernel suite lints clean, and the new
 //! fixpoint passes catch defects the seed's linear scan could not.
 
-use nvp_analysis::{analyze_program, AnalysisConfig, LintCode, Severity};
+use nvp_analysis::{analyze_program, AnalysisConfig, DeclaredBits, LintCode, Severity};
 use nvp_isa::{ProgramBuilder, Reg};
 use nvp_kernels::KernelId;
 
 /// Every kernel generator must produce a program with zero violations
-/// (warnings or errors) under the default pass pipeline.
+/// (warnings or errors) under the default pass pipeline — including the
+/// bitwidth pass judging each kernel's declared governor range against
+/// its statically derived floor.
 #[test]
 fn every_kernel_lints_clean() {
     for id in KernelId::ALL {
         let (w, h) = id.min_dims();
         let spec = id.spec(w, h);
+        let (minbits, maxbits) = id.declared_bits();
         let config = AnalysisConfig {
             sanitized_regs: id.sanitized_regs(),
+            mem_words: Some(spec.mem_words),
+            declared: Some(DeclaredBits::new(minbits, maxbits)),
         };
         let report = analyze_program(&spec.program, &config);
         let violations: Vec<String> = report

@@ -126,6 +126,39 @@ fn junk_mask(bits: u8) -> i32 {
     ((1u32 << (FULL_BITS - bits)) - 1) as i32
 }
 
+/// Tight worst-case magnitude of the centered error [`alu_approximate`] can
+/// add at `bits` reliable bits: `2^(8-bits) / 4` (0 at 7 or more bits).
+///
+/// The static value-range and error-bound analyses in `nvp-analysis` build
+/// their abstract transfer functions on this bound, so it is load-bearing:
+/// `|alu_approximate(v, bits, n) - v| <= alu_error_bound(bits)` must hold
+/// for every `v` and every `n` (checked exhaustively in the tests below).
+#[inline]
+pub fn alu_error_bound(bits: u8) -> i32 {
+    if bits >= FULL_BITS {
+        0
+    } else {
+        (1i32 << (FULL_BITS - bits)) / 4
+    }
+}
+
+/// Tight worst-case value lost by [`mem_truncate`] at `bits` reliable bits:
+/// the junk mask `2^(8-bits) - 1` (0 at 8 bits).
+///
+/// Truncation rounds toward negative infinity for every sign
+/// (`v & !mask == floor(v / 2^k) * 2^k` in two's complement), so
+/// `0 <= v - mem_truncate(v, bits) <= mem_error_bound(bits)` for all `v` —
+/// the error is one-sided. This also makes `mem_truncate` monotone in `v`,
+/// which the interval domain relies on to map range endpoints.
+#[inline]
+pub fn mem_error_bound(bits: u8) -> i32 {
+    if bits >= FULL_BITS {
+        0
+    } else {
+        junk_mask(bits)
+    }
+}
+
 /// Approximate-ALU result transformation: a gradient-VDD error model.
 ///
 /// The low `8 − bits` result bits are computed at reduced voltage; the
@@ -254,5 +287,101 @@ mod tests {
     #[should_panic(expected = "bits must be 1..=8")]
     fn fixed_zero_bits_panics() {
         let _ = ApproxConfig::fixed(0);
+    }
+
+    // --- boundary semantics, load-bearing for the abstract domains -------
+
+    #[test]
+    fn bits_at_or_above_domain_are_identity() {
+        // The 8-bit data domain saturates: 8, 31 and 32 "bits" all behave
+        // as full precision for both mechanisms.
+        for bits in [8u8, 31, 32, 255] {
+            for v in [0i32, 1, -1, 0x7F, -0x80, i32::MAX, i32::MIN] {
+                assert_eq!(
+                    alu_approximate(v, bits, 0xDEAD_BEEF),
+                    v,
+                    "alu bits={bits} v={v}"
+                );
+                assert_eq!(mem_truncate(v, bits), v, "mem bits={bits} v={v}");
+            }
+            assert_eq!(alu_error_bound(bits), 0);
+            assert_eq!(mem_error_bound(bits), 0);
+        }
+    }
+
+    #[test]
+    fn one_bit_truncation_keeps_only_the_top_domain_bit() {
+        assert_eq!(mem_truncate(0xFF, 1), 0x80);
+        assert_eq!(mem_truncate(0x7F, 1), 0x00);
+        // Bits above the 8-bit domain survive untouched.
+        assert_eq!(mem_truncate(0x1FF, 1), 0x180);
+    }
+
+    #[test]
+    fn truncation_of_negative_values_rounds_toward_negative_infinity() {
+        // v & !mask == floor(v / 2^k) * 2^k in two's complement.
+        assert_eq!(mem_truncate(-1, 4), -16);
+        assert_eq!(mem_truncate(-16, 4), -16);
+        assert_eq!(mem_truncate(-17, 4), -32);
+        assert_eq!(mem_truncate(-1, 1), -128);
+        assert_eq!(mem_truncate(-200, 1), -256);
+        for bits in 1..=8u8 {
+            let m = mem_error_bound(bits);
+            for v in [-1i32, -7, -128, -255, -256, -1000, i32::MIN + 256] {
+                let t = mem_truncate(v, bits);
+                assert!(t <= v, "bits={bits} v={v} t={t}");
+                assert!(v - t <= m, "bits={bits} v={v} lost {}", v - t);
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_monotone_over_the_domain() {
+        for bits in 1..=8u8 {
+            let mut prev = mem_truncate(-300, bits);
+            for v in -299..=300 {
+                let t = mem_truncate(v, bits);
+                assert!(t >= prev, "bits={bits}: trunc({v})={t} < {prev}");
+                prev = t;
+            }
+        }
+    }
+
+    #[test]
+    fn alu_error_bound_is_tight_and_sound() {
+        // Exhaustive over every noise residue (the delta only depends on
+        // `noise & mask`, and mask <= 127): the bound is never exceeded and
+        // is achieved for bits <= 6.
+        for bits in 1..=8u8 {
+            let bound = alu_error_bound(bits);
+            let mut worst = 0i32;
+            for noise in 0..=255u32 {
+                for v in [0i32, 57, -1000] {
+                    let err = alu_approximate(v, bits, noise) - v;
+                    assert!(err.abs() <= bound, "bits={bits} noise={noise} err={err}");
+                    worst = worst.max(err.abs());
+                }
+            }
+            if bits <= 6 {
+                assert_eq!(worst, bound, "bound should be tight at bits={bits}");
+            } else {
+                assert_eq!(worst, 0, "bits={bits} must be error-free");
+            }
+        }
+    }
+
+    #[test]
+    fn alu_noise_sign_is_centered_not_biased() {
+        // bits=1: delta spans [-31, 32] — both signs reachable.
+        let deltas: Vec<i32> = (0..256u32).map(|n| alu_approximate(0, 1, n)).collect();
+        assert_eq!(*deltas.iter().min().unwrap(), -31);
+        assert_eq!(*deltas.iter().max().unwrap(), 32);
+        // Negative operands perturb identically (the delta is value-independent).
+        for n in 0..64u32 {
+            assert_eq!(
+                alu_approximate(-500, 3, n) + 500,
+                alu_approximate(500, 3, n) - 500
+            );
+        }
     }
 }

@@ -48,7 +48,7 @@ pub mod vm;
 pub use analysis::{
     analyze, verify_ac_isolation, verify_ac_isolation_with, AcViolation, ProgramStats,
 };
-pub use approx::{alu_approximate, mem_truncate, ApproxConfig};
+pub use approx::{alu_approximate, alu_error_bound, mem_error_bound, mem_truncate, ApproxConfig};
 pub use encoding::{decode_program, encode_program, DecodeError};
 pub use instr::{Instr, InstrClass, Reg, NUM_REGS};
 pub use program::{Label, Program, ProgramBuilder, ProgramError};

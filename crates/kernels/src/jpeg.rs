@@ -57,6 +57,7 @@ pub fn spec(width: usize, height: usize) -> KernelSpec {
     let best = Reg(11);
     let (bdx, bdy) = (Reg(12), Reg(13));
     let tmp = Reg(14);
+    let addr = Reg(15);
 
     let mut b = ProgramBuilder::new();
     // The per-pixel difference datapath is approximable; the wide SAD
@@ -99,13 +100,18 @@ pub fn spec(width: usize, height: usize) -> KernelSpec {
         .ldi(px, 0);
     let px_top = b.label();
     b.place(px_top);
-    b.ld_ind(cpix, curp, in_base)
-        .ld_ind(rpix, refp, in_base + n)
+    // Addresses are recomputed from the loop counter (`base + px`) rather
+    // than incremented across iterations: an incremented pointer has no
+    // branch bounding it directly, so interval analysis (nvp-lint
+    // --bitwidth) cannot prove it stays in range, while `base + px` is
+    // bounded by the counters' own loop bounds.
+    b.add(addr, curp, px)
+        .ld_ind(cpix, addr, in_base)
+        .add(addr, refp, px)
+        .ld_ind(rpix, addr, in_base + n)
         .sub(cpix, cpix, rpix)
         .abs(cpix, cpix)
         .add(sad, sad, cpix)
-        .addi(curp, curp, 1)
-        .addi(refp, refp, 1)
         .addi(px, px, 1)
         .ldi(tmp, BLOCK as i32)
         .brlt(px, tmp, px_top);

@@ -170,6 +170,17 @@ impl KernelId {
         }
     }
 
+    /// The governor operating range `(minbits, maxbits)` this kernel
+    /// declares, checked statically by `nvp-lint`'s bitwidth pass: at
+    /// `minbits` no unsanitized branch operand or address may deviate
+    /// from the exact run. Every kernel keeps control flow and
+    /// addressing in precise (or explicitly sanitized) registers, so the
+    /// full `1..=8` range is safe — and `nvp-lint` warns (`NVP-W003`) if
+    /// a kernel ever declares a floor above what the analysis proves.
+    pub fn declared_bits(self) -> (u8, u8) {
+        (1, 8)
+    }
+
     /// Generates a deterministic, kernel-appropriate input frame.
     pub fn make_input(self, width: usize, height: usize, seed: u64) -> Vec<i32> {
         match self {

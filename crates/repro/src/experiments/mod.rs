@@ -21,7 +21,7 @@ pub use overall::{
 };
 pub use powerx::{fig2, fig3};
 pub use progress::{fig15, fig16};
-pub use quality::{fig12, fig14};
+pub use quality::{fig12, fig14, safebits};
 pub use racx::fig27;
 pub use retention::{fig22, fig24, fig25};
 pub use visual::images;
@@ -141,6 +141,7 @@ pub fn all(scale: Scale) -> Vec<Table> {
     out.extend(fig9(scale));
     out.extend(fig12(scale));
     out.extend(fig14(scale));
+    out.extend(safebits(scale));
     out.extend(fig15(scale));
     out.extend(fig16(scale));
     out.extend(fig18(scale));

@@ -1,7 +1,9 @@
-//! Figures 11–14: fixed-bitwidth quality study (no power interruptions).
+//! Figures 11–14: fixed-bitwidth quality study (no power interruptions),
+//! plus the statically-proven safe-bits companion table.
 
 use crate::table::fnum;
 use crate::{dims, Scale, Table};
+use nvp_analysis::{bitwidth_report, Cfg, NEVER_SAFE};
 use nvp_isa::ApproxConfig;
 use nvp_kernels::spec::QualityDomain;
 use nvp_kernels::{quality, KernelId};
@@ -82,6 +84,51 @@ pub fn fig14(scale: Scale) -> Vec<Table> {
     )
 }
 
+/// Statically-proven safe bitwidths: the `nvp-lint --bitwidth` result as
+/// a table — per-kernel governor floor and worst-case output-region error
+/// bound at every governor setting. The measured MSE curves of Figures
+/// 11–14 sit *under* these bounds; the floor is what the simulator's
+/// `StaticBitsFloor::Auto` clamp enforces.
+pub fn safebits(scale: Scale) -> Vec<Table> {
+    let fmt_err = |e: u64| {
+        if e == u64::MAX {
+            "unbounded".to_string()
+        } else {
+            e.to_string()
+        }
+    };
+    let mut t = Table::new(
+        "safe_bits",
+        "Statically-proven safe bitwidths and output error bounds",
+        &[
+            "kernel", "floor", "1b", "2b", "3b", "4b", "5b", "6b", "7b", "8b",
+        ],
+    );
+    for id in KernelId::ALL {
+        let (w, h) = dims(id, scale.img.max(16));
+        let spec = id.spec(w, h);
+        let cfg = Cfg::build(&spec.program);
+        let report = bitwidth_report(
+            &spec.program,
+            &cfg,
+            id.sanitized_regs(),
+            Some(spec.mem_words),
+        );
+        let floor = if report.program_floor == NEVER_SAFE {
+            "never".to_string()
+        } else {
+            report.program_floor.to_string()
+        };
+        let cells: Vec<String> = [id.name().to_string(), floor]
+            .into_iter()
+            .chain((1..=8usize).map(|b| fmt_err(report.output_err[b - 1])))
+            .collect();
+        t.row(cells);
+    }
+    t.note("abstract-interpretation worst cases, not measurements; 8b is exactly 0 by the deterministic-op rule");
+    vec![t]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -114,5 +161,27 @@ mod tests {
         let tables = fig14(Scale::quick());
         assert_eq!(tables.len(), 2);
         assert_eq!(tables[0].rows.len(), 7);
+    }
+
+    #[test]
+    fn safebits_covers_every_kernel_with_monotone_bounds() {
+        let tables = safebits(Scale::quick());
+        let t = &tables[0];
+        assert_eq!(t.rows.len(), KernelId::ALL.len());
+        for row in &t.rows {
+            // Every shipped kernel proves down to 1 bit.
+            assert_eq!(row[1], "1", "{} floor", row[0]);
+            // Bounds never increase with more bits, and 8 bits is exact.
+            assert_eq!(*row.last().unwrap(), "0", "{} at 8 bits", row[0]);
+            let errs: Vec<u64> = row[2..]
+                .iter()
+                .map(|c| c.parse().unwrap_or(u64::MAX))
+                .collect();
+            assert!(
+                errs.windows(2).all(|w| w[0] >= w[1]),
+                "{} bounds not monotone: {errs:?}",
+                row[0]
+            );
+        }
     }
 }

@@ -20,6 +20,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig9", "timing behaviour of the four NVP variants"),
     ("fig12", "approximate-ALU quality (covers figs 11-12)"),
     ("fig14", "approximate-memory quality (covers figs 13-14)"),
+    (
+        "safebits",
+        "statically-proven safe bitwidths (nvp-lint --bitwidth)",
+    ),
     ("fig15", "forward progress vs bitwidth"),
     ("fig16", "backup count vs bitwidth"),
     ("fig18", "dynamic bitwidth utilization (covers figs 17-18)"),
@@ -165,6 +169,7 @@ fn run_experiment(name: &str, scale: Scale, ablate: bool) -> Option<Vec<Table>> 
         "fig9" => e::fig9(scale),
         "fig11" | "fig12" => e::fig12(scale),
         "fig13" | "fig14" => e::fig14(scale),
+        "safebits" => e::safebits(scale),
         "fig15" => e::fig15(scale),
         "fig16" => e::fig16(scale),
         "fig17" | "fig18" => e::fig18(scale),

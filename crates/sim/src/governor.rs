@@ -61,11 +61,33 @@ impl Governor {
     }
 }
 
+/// Lower clamp on the governed bitwidth, backed by static analysis.
+///
+/// The paper's governor trusts the kernel's declared `minbits`; an
+/// adversarial (or simply miscalibrated) declaration lets sustained poor
+/// power pin the datapath at a width where output quality collapses. The
+/// floor feeds the bound proven by `nvp-lint --bitwidth`
+/// ([`nvp_analysis::static_floor`]) back into the runtime: the governor
+/// may never pick fewer bits than the analysis proved safe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum StaticBitsFloor {
+    /// No clamp (the seed's behavior).
+    #[default]
+    Off,
+    /// Derive the floor from the kernel's program at simulator
+    /// construction via [`nvp_analysis::static_floor`].
+    Auto,
+    /// Clamp to an explicit floor (clamped into `1..=8`).
+    Fixed(u8),
+}
+
 /// Change detector over the governor's chosen bitwidth.
 ///
 /// The governor re-evaluates every tick but mostly picks the same width;
 /// tracing every decision would dominate the trace. The tracker remembers
-/// the last width and reports only actual switches as `(from, to)` pairs.
+/// the last width and reports only actual switches as `(from, to,
+/// floored)` triples, where `floored` records whether the static floor
+/// clamped the policy's choice this tick.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct BitsTracker {
     last: Option<u8>,
@@ -77,13 +99,14 @@ impl BitsTracker {
         Self::default()
     }
 
-    /// Feeds this tick's chosen width. Returns `Some((from, to))` when the
-    /// width changed from a previously observed one; the first observation
+    /// Feeds this tick's chosen width and whether the static floor
+    /// clamped it. Returns `Some((from, to, floored))` when the width
+    /// changed from a previously observed one; the first observation
     /// establishes the baseline and reports nothing.
-    pub fn observe(&mut self, bits: u8) -> Option<(u8, u8)> {
+    pub fn observe(&mut self, bits: u8, floored: bool) -> Option<(u8, u8, bool)> {
         let prev = self.last.replace(bits);
         match prev {
-            Some(from) if from != bits => Some((from, bits)),
+            Some(from) if from != bits => Some((from, bits, floored)),
             _ => None,
         }
     }
@@ -139,10 +162,21 @@ mod tests {
     #[test]
     fn bits_tracker_reports_changes_only() {
         let mut t = BitsTracker::new();
-        assert_eq!(t.observe(8), None); // baseline, not a switch
-        assert_eq!(t.observe(8), None);
-        assert_eq!(t.observe(2), Some((8, 2)));
-        assert_eq!(t.observe(2), None);
-        assert_eq!(t.observe(8), Some((2, 8)));
+        assert_eq!(t.observe(8, false), None); // baseline, not a switch
+        assert_eq!(t.observe(8, false), None);
+        assert_eq!(t.observe(2, false), Some((8, 2, false)));
+        assert_eq!(t.observe(2, false), None);
+        assert_eq!(t.observe(8, false), Some((2, 8, false)));
+    }
+
+    #[test]
+    fn bits_tracker_carries_the_floored_flag_of_the_switch() {
+        let mut t = BitsTracker::new();
+        assert_eq!(t.observe(2, false), None);
+        // The governor wanted fewer bits but the static floor held it at 4.
+        assert_eq!(t.observe(4, true), Some((2, 4, true)));
+        // Steady clamped ticks are not switches.
+        assert_eq!(t.observe(4, true), None);
+        assert_eq!(t.observe(8, false), Some((4, 8, false)));
     }
 }

@@ -33,7 +33,7 @@ pub mod system;
 pub mod waitcompute;
 
 pub use energy::EnergyModel;
-pub use governor::Governor;
+pub use governor::{Governor, StaticBitsFloor};
 pub use quickrun::{instructions_per_frame, run_fixed};
 pub use system::{
     BackupScope, CommittedFrame, ExecMode, IncidentalSetup, RunReport, SystemConfig, SystemSim,

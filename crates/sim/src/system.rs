@@ -10,7 +10,7 @@
 //! newest buffered frame (incidental NVP, Section 3.1).
 
 use crate::energy::{EnergyModel, FlushCursor};
-use crate::governor::{BitsTracker, Governor};
+use crate::governor::{BitsTracker, Governor, StaticBitsFloor};
 use crate::resume::{PendingFrame, ResumeController, PARK_SLOTS};
 use nvp_analysis::BackupLiveness;
 use nvp_isa::approx::FULL_BITS;
@@ -19,7 +19,7 @@ use nvp_kernels::KernelSpec;
 use nvp_nvm::backup::decay_region_traced;
 use nvp_nvm::RetentionPolicy;
 use nvp_power::{Capacitor, Energy, PowerProfile, Rectifier, Ticks, VoltageMonitor};
-use nvp_trace::{emit, Event, NoopTracer, Tracer};
+use nvp_trace::{emit, Event, NoopTracer, SwitchReason, Tracer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
@@ -239,6 +239,9 @@ pub struct SystemConfig {
     pub park_slots: u8,
     /// RNG seed for retention decay.
     pub seed: u64,
+    /// Lower clamp on governed bitwidths from the static safe-bits
+    /// analysis (`nvp-lint --bitwidth`); `Off` reproduces the seed.
+    pub static_bits_floor: StaticBitsFloor,
 }
 
 impl Default for SystemConfig {
@@ -258,6 +261,7 @@ impl Default for SystemConfig {
             max_simd_lanes: 4,
             park_slots: 3,
             seed: 0x5EED,
+            static_bits_floor: StaticBitsFloor::default(),
         }
     }
 }
@@ -289,6 +293,8 @@ pub struct SystemSim {
     backup_cost_by_bits: [Energy; 9],
     /// Per-pc live register sets (drives `BackupScope::LiveOnly`).
     backup_liveness: BackupLiveness,
+    /// Resolved static safe-bits floor (1 = no clamp).
+    static_floor: u8,
     rng: SmallRng,
     report: RunReport,
 }
@@ -321,6 +327,15 @@ impl SystemSim {
             ResumeController::with_capacity(spec.program.loop_var_mask(), cfg.park_slots as usize);
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let backup_liveness = BackupLiveness::compute(&spec.program);
+        let static_floor = match cfg.static_bits_floor {
+            StaticBitsFloor::Off => 1,
+            StaticBitsFloor::Fixed(b) => b.clamp(1, FULL_BITS),
+            StaticBitsFloor::Auto => nvp_analysis::static_floor(
+                &spec.program,
+                spec.id.sanitized_regs(),
+                Some(spec.mem_words),
+            ),
+        };
         SystemSim {
             spec,
             frames,
@@ -337,9 +352,16 @@ impl SystemSim {
             live_loaded_at: 0,
             backup_cost_by_bits,
             backup_liveness,
+            static_floor,
             rng,
             report: RunReport::default(),
         }
+    }
+
+    /// The resolved static safe-bits floor this run clamps against
+    /// (1 when the floor is `Off` or nothing was proven above 1 bit).
+    pub fn resolved_static_floor(&self) -> u8 {
+        self.static_floor
     }
 
     fn is_incidental(&self) -> bool {
@@ -347,22 +369,27 @@ impl SystemSim {
     }
 
     /// Approximation configuration to assume when sizing the start
-    /// threshold (Figure 9's per-mode thresholds).
+    /// threshold (Figure 9's per-mode thresholds). Governed modes can
+    /// never run below the static floor, so the threshold is sized for
+    /// the clamped minimum width.
     fn threshold_cfg(&self) -> ApproxConfig {
         match self.mode {
             ExecMode::Precise => ApproxConfig::default(),
             ExecMode::Fixed(c) => c,
-            ExecMode::Dynamic(g) => ApproxConfig::fixed(g.minbits),
+            ExecMode::Dynamic(g) => ApproxConfig::fixed(g.minbits.max(self.static_floor).min(8)),
             ExecMode::Simd4 => ApproxConfig {
                 lanes: 4,
                 ..Default::default()
             },
-            ExecMode::Incidental(s) => ApproxConfig {
-                ac_en: true,
-                lanes: 2,
-                alu_bits: [8, s.minbits, s.minbits, s.minbits],
-                ..Default::default()
-            },
+            ExecMode::Incidental(s) => {
+                let floor = s.minbits.max(self.static_floor).min(8);
+                ApproxConfig {
+                    ac_en: true,
+                    lanes: 2,
+                    alu_bits: [8, floor, floor, floor],
+                    ..Default::default()
+                }
+            }
         }
     }
 
@@ -453,23 +480,26 @@ impl SystemSim {
     }
 
     /// Per-tick bitwidth control (the approximation control unit). Returns
-    /// the governed width for modes with a governor (`None` for fixed-width
-    /// modes) so the run loop can trace switches.
-    fn update_governor(&mut self, income_uw: f64) -> Option<u8> {
+    /// `(bits, floored)` for modes with a governor (`None` for fixed-width
+    /// modes) so the run loop can trace switches; `floored` reports that
+    /// the static safe-bits floor clamped the policy's choice this tick.
+    fn update_governor(&mut self, income_uw: f64) -> Option<(u8, bool)> {
         let fill = self.cap.fill();
         match self.mode {
             ExecMode::Dynamic(g) => {
-                let bits = g.bits_for(fill, income_uw);
+                let want = g.bits_for(fill, income_uw);
+                let bits = want.max(self.static_floor).min(FULL_BITS);
                 let mut c = self.vm.approx();
                 c.ac_en = bits < FULL_BITS;
                 c.alu_bits[0] = bits;
                 c.mem_bits[0] = bits;
                 self.vm.set_approx(c);
-                Some(bits)
+                Some((bits, bits != want))
             }
             ExecMode::Incidental(s) => {
                 let g = Governor::new(s.minbits, s.maxbits);
-                let bits = g.bits_for(fill, income_uw);
+                let want = g.bits_for(fill, income_uw);
+                let bits = want.max(self.static_floor).min(FULL_BITS);
                 let mut c = self.vm.approx();
                 c.ac_en = true;
                 for l in 1..4 {
@@ -484,7 +514,7 @@ impl SystemSim {
                     c.mem_bits[0] = FULL_BITS;
                 }
                 self.vm.set_approx(c);
-                Some(bits)
+                Some((bits, bits != want))
             }
             _ => None,
         }
@@ -902,12 +932,17 @@ impl SystemSim {
             self.report.energy_income += banked;
             self.cap.leak_tick();
             self.report.total_ticks += 1;
-            if let Some(bits) = self.update_governor(power.as_uw()) {
-                if let Some((from_bits, to_bits)) = bits_tracker.observe(bits) {
+            if let Some((bits, floored)) = self.update_governor(power.as_uw()) {
+                if let Some((from_bits, to_bits, floored)) = bits_tracker.observe(bits, floored) {
                     emit(tracer, || Event::GovernorSwitch {
                         tick: t.0,
                         from_bits,
                         to_bits,
+                        reason: if floored {
+                            SwitchReason::StaticFloor
+                        } else {
+                            SwitchReason::Power
+                        },
                     });
                 }
             }

@@ -1,0 +1,156 @@
+//! Integration tests for the static safe-bits floor: the governor clamps
+//! against the bound proven by the bitwidth analysis, the clamp rescues
+//! output quality on adversarial power profiles, and floored switches are
+//! distinguishable in the trace.
+
+use nvp_kernels::{quality, KernelId};
+use nvp_power::{Energy, PowerProfile};
+use nvp_sim::{ExecMode, Governor, RunReport, StaticBitsFloor, SystemConfig, SystemSim};
+use nvp_trace::{Event, NoopTracer, SwitchReason, VecSink};
+
+const W: usize = 8;
+const H: usize = 8;
+
+fn inputs(id: KernelId, n: usize) -> Vec<Vec<i32>> {
+    (0..n).map(|i| id.make_input(W, H, 11 + i as u64)).collect()
+}
+
+/// An oversized capacitor keeps the fill fraction (the governor's main
+/// richness signal) low at restart, so sustained weak income really does
+/// pin the governor at its declared minimum — the adversarial regime.
+fn config(floor: StaticBitsFloor) -> SystemConfig {
+    SystemConfig {
+        record_outputs: true,
+        frames_limit: Some(3),
+        static_bits_floor: floor,
+        capacitor_capacity: Energy::from_uj(35.0),
+        ..Default::default()
+    }
+}
+
+/// Steady income too weak to ever look "rich": the governor pins the
+/// datapath at the declared 1-bit minimum for the whole run.
+fn poor_profile() -> PowerProfile {
+    PowerProfile::from_uw(vec![60.0; 400_000])
+}
+
+/// Rich spikes separated by dead air: income yanks the wanted width
+/// between 8 bits and the minimum in a single tick, so the drop lands
+/// straight on the floor (a clamped switch) instead of stepping down.
+fn spiky_profile() -> PowerProfile {
+    let pattern: Vec<f64> = (0..60_000)
+        .map(|i| if i % 150 < 12 { 900.0 } else { 0.0 })
+        .collect();
+    PowerProfile::from_uw(pattern)
+}
+
+fn run(floor: StaticBitsFloor, profile: &PowerProfile) -> RunReport {
+    let id = KernelId::Sobel;
+    let mode = ExecMode::Dynamic(Governor::new(1, 8));
+    SystemSim::new(id.spec(W, H), inputs(id, 3), mode, config(floor))
+        .run_traced(profile, &mut NoopTracer)
+}
+
+/// Worst committed-frame MSE against the kernel golden.
+fn worst_mse(rep: &RunReport) -> f64 {
+    let id = KernelId::Sobel;
+    let frames = inputs(id, 3);
+    assert!(rep.frames_committed > 0, "run must commit frames");
+    rep.committed
+        .iter()
+        .map(|c| {
+            let input = &frames[(c.input_index as usize) % frames.len()];
+            let golden = id.golden(input, W, H);
+            quality::mse(&golden, &c.output)
+        })
+        .fold(0.0, f64::max)
+}
+
+/// An adversarial profile pins the seed's governor at 1 bit and output
+/// quality collapses; the statically-proven floor (here forced to 7 bits)
+/// clamps the governor and quality no longer collapses.
+#[test]
+fn static_floor_rescues_quality_on_adversarial_profile() {
+    let profile = poor_profile();
+    let collapsed = worst_mse(&run(StaticBitsFloor::Off, &profile));
+    let floored = worst_mse(&run(StaticBitsFloor::Fixed(7), &profile));
+    assert!(
+        collapsed > 100.0 * (floored + 1.0),
+        "quality must collapse without the floor: off-mse {collapsed}, floored-mse {floored}"
+    );
+}
+
+fn governor_switches(events: &[Event]) -> Vec<(u8, SwitchReason)> {
+    events
+        .iter()
+        .filter_map(|e| match e {
+            Event::GovernorSwitch {
+                to_bits, reason, ..
+            } => Some((*to_bits, *reason)),
+            _ => None,
+        })
+        .collect()
+}
+
+/// Governor switches that the static floor clamped carry the
+/// `static_floor` reason; unclamped switches stay `power`.
+#[test]
+fn floored_switches_carry_the_static_floor_reason() {
+    let id = KernelId::Sobel;
+    let mode = ExecMode::Dynamic(Governor::new(1, 8));
+    let profile = spiky_profile();
+
+    let mut sink = VecSink::new();
+    SystemSim::new(
+        id.spec(W, H),
+        inputs(id, 3),
+        mode,
+        config(StaticBitsFloor::Fixed(6)),
+    )
+    .run_traced(&profile, &mut sink);
+    let switches = governor_switches(&sink.events);
+    assert!(
+        switches
+            .iter()
+            .any(|&(to, r)| to == 6 && r == SwitchReason::StaticFloor),
+        "the drop to the floor must be tagged static_floor: {switches:?}"
+    );
+    assert!(
+        switches.iter().all(|&(to, _)| to >= 6),
+        "no governed width may undercut the floor: {switches:?}"
+    );
+
+    // Without a floor the same profile produces only power-driven
+    // switches, including widths below 6 bits.
+    let mut sink = VecSink::new();
+    SystemSim::new(
+        id.spec(W, H),
+        inputs(id, 3),
+        mode,
+        config(StaticBitsFloor::Off),
+    )
+    .run_traced(&profile, &mut sink);
+    let unfloored = governor_switches(&sink.events);
+    assert!(unfloored.iter().all(|&(_, r)| r == SwitchReason::Power));
+    assert!(unfloored.iter().any(|&(to, _)| to < 6));
+}
+
+/// `Auto` resolves the floor from the bitwidth analysis. Every shipped
+/// kernel proves down to 1 bit, so `Auto` must match the analysis exactly
+/// and behave like `Off` at runtime.
+#[test]
+fn auto_floor_resolves_from_the_analysis() {
+    let id = KernelId::Sobel;
+    let spec = id.spec(W, H);
+    let expected =
+        nvp_analysis::static_floor(&spec.program, id.sanitized_regs(), Some(spec.mem_words));
+    let mode = ExecMode::Dynamic(Governor::new(1, 8));
+    let sim = SystemSim::new(spec, inputs(id, 3), mode, config(StaticBitsFloor::Auto));
+    assert_eq!(sim.resolved_static_floor(), expected);
+    assert_eq!(expected, 1, "sobel's addressing is precise down to 1 bit");
+
+    let profile = poor_profile();
+    let auto = sim.run_traced(&profile, &mut NoopTracer);
+    let off = run(StaticBitsFloor::Off, &profile);
+    assert_eq!(auto, off, "a 1-bit floor must not perturb the run");
+}

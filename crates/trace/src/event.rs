@@ -10,6 +10,35 @@
 
 use std::fmt;
 
+/// Why the bitwidth governor switched.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SwitchReason {
+    /// The power/quality policy picked a new width.
+    #[default]
+    Power,
+    /// The statically-proven safe-bits floor clamped the policy's choice
+    /// (`nvp-lint --bitwidth` / `StaticBitsFloor`).
+    StaticFloor,
+}
+
+impl SwitchReason {
+    /// Stable serialization name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SwitchReason::Power => "power",
+            SwitchReason::StaticFloor => "static_floor",
+        }
+    }
+
+    fn parse(s: &str) -> Result<SwitchReason, ParseError> {
+        match s {
+            "power" => Ok(SwitchReason::Power),
+            "static_floor" => Ok(SwitchReason::StaticFloor),
+            other => Err(ParseError::new(format!("unknown switch reason '{other}'"))),
+        }
+    }
+}
+
 /// A structured trace event.
 ///
 /// All energy fields are in nanojoules; all time fields in 0.1 ms
@@ -137,6 +166,8 @@ pub enum Event {
         from_bits: u8,
         /// New bitwidth.
         to_bits: u8,
+        /// What drove the switch (absent in pre-floor traces → `Power`).
+        reason: SwitchReason,
     },
     /// Retention failures observed while restoring after an outage.
     RetentionDecay {
@@ -440,10 +471,12 @@ impl Event {
                 tick,
                 from_bits,
                 to_bits,
+                reason,
             } => {
                 w.num("t", *tick as f64);
                 w.num("from_bits", f64::from(*from_bits));
                 w.num("to_bits", f64::from(*to_bits));
+                w.str("reason", reason.as_str());
             }
             Event::RetentionDecay {
                 tick,
@@ -570,6 +603,12 @@ impl Event {
                 tick: t,
                 from_bits: fields.u64_field("from_bits")? as u8,
                 to_bits: fields.u64_field("to_bits")? as u8,
+                // Traces written before the static-floor work have no
+                // reason field; those switches were all policy-driven.
+                reason: match fields.str_field("reason") {
+                    Ok(s) => SwitchReason::parse(s)?,
+                    Err(_) => SwitchReason::Power,
+                },
             },
             EventKind::RetentionDecay => Event::RetentionDecay {
                 tick: t,
@@ -916,6 +955,7 @@ mod tests {
                 tick: 55,
                 from_bits: 8,
                 to_bits: 2,
+                reason: SwitchReason::StaticFloor,
             },
             Event::RetentionDecay {
                 tick: 90,
@@ -1004,6 +1044,23 @@ mod tests {
         assert!(Event::from_json("{\"ev\":\"nope\",\"t\":0}").is_err());
         assert!(Event::from_json("{\"ev\":\"backup\",\"t\":0}").is_err()); // missing fields
         assert!(Event::from_json("not json at all").is_err());
+    }
+
+    #[test]
+    fn governor_switch_without_reason_defaults_to_power() {
+        // Traces written before the static-floor work lack the field.
+        let old = "{\"ev\":\"governor_switch\",\"t\":55,\"from_bits\":8,\"to_bits\":2}";
+        assert_eq!(
+            Event::from_json(old).unwrap(),
+            Event::GovernorSwitch {
+                tick: 55,
+                from_bits: 8,
+                to_bits: 2,
+                reason: SwitchReason::Power,
+            }
+        );
+        let bad = "{\"ev\":\"governor_switch\",\"t\":55,\"from_bits\":8,\"to_bits\":2,\"reason\":\"vibes\"}";
+        assert!(Event::from_json(bad).is_err());
     }
 
     #[test]

@@ -34,7 +34,7 @@ mod summary;
 mod timeline;
 
 pub use diff::{diff, TraceDiff};
-pub use event::{Event, EventKind, ParseError};
+pub use event::{Event, EventKind, ParseError, SwitchReason};
 pub use sink::{emit, CounterSink, JsonlSink, NoopTracer, RingSink, TeeSink, Tracer, VecSink};
 pub use summary::{
     EnergyLedger, Histogram, LedgerMismatch, ReadError, RunEndTotals, RunSummary, TraceSummary,
