@@ -1,0 +1,72 @@
+//! Parallel-sweep scaling and VM hot-path microbenchmarks.
+//!
+//! `sweep_scaling` regenerates two sweep-heavy experiments at 1, 2, and 4
+//! workers so `cargo bench` records how the work-stealing pool scales on
+//! the host; `pool_overhead` isolates per-job scheduling cost; `vm_step`
+//! times the interpreter inner loop that dominates every simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use nvp_bench::bench_scale;
+use nvp_exec::Pool;
+use nvp_isa::ApproxConfig;
+use nvp_kernels::KernelId;
+use nvp_repro::dims;
+use nvp_repro::experiments as e;
+use nvp_sim::{instructions_per_frame, run_fixed};
+use std::time::Duration;
+
+fn bench_sweep_scaling(c: &mut Criterion) {
+    let mut g = c.benchmark_group("sweep_scaling");
+    g.sample_size(10);
+    g.measurement_time(Duration::from_secs(3));
+    g.warm_up_time(Duration::from_millis(500));
+    for jobs in [1usize, 2, 4] {
+        let s = bench_scale().with_jobs(jobs);
+        g.bench_function(format!("fig15_fp_vs_bits/jobs{jobs}"), |b| {
+            b.iter(|| e::fig15(s))
+        });
+        g.bench_function(format!("fig9_timing/jobs{jobs}"), |b| b.iter(|| e::fig9(s)));
+    }
+    g.finish();
+}
+
+fn bench_pool_overhead(c: &mut Criterion) {
+    let mut g = c.benchmark_group("pool_overhead");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    // Trivially small jobs expose the pool's fixed per-job scheduling cost.
+    for jobs in [1usize, 2, 4] {
+        g.bench_function(format!("map_64_tiny_jobs/jobs{jobs}"), |b| {
+            let pool = Pool::new(jobs);
+            let items: Vec<u64> = (0..64).collect();
+            b.iter(|| pool.map(items.clone(), |x| x.wrapping_mul(0x9E37_79B9)))
+        });
+    }
+    g.finish();
+}
+
+fn bench_vm_step(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_step");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    for id in [KernelId::Median, KernelId::Sobel] {
+        let (w, h) = dims(id, 16);
+        let spec = id.spec(w, h);
+        let input = id.make_input(w, h, 0x51);
+        g.throughput(Throughput::Elements(instructions_per_frame(&spec, &input)));
+        g.bench_function(format!("{}_frame_precise", id.name()), |b| {
+            b.iter(|| run_fixed(&spec, &input, ApproxConfig::default(), 1))
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_sweep_scaling,
+    bench_pool_overhead,
+    bench_vm_step
+);
+criterion_main!(benches);

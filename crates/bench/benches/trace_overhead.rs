@@ -15,7 +15,7 @@ use std::time::Duration;
 
 fn sim() -> SystemSim {
     let id = KernelId::Tiff2Bw;
-    let frames = (0..2).map(|i| id.make_input(8, 8, 7 + i as u64)).collect();
+    let frames: Vec<Vec<i32>> = (0..2).map(|i| id.make_input(8, 8, 7 + i as u64)).collect();
     let cfg = SystemConfig {
         record_outputs: false,
         ..Default::default()

@@ -1,0 +1,41 @@
+//! nvp-exec — the execution layer: a scoped work-stealing job pool.
+//!
+//! The paper's evaluation is a large cross-product of kernels × power
+//! profiles × schemes × policies; every cell is an independent simulation.
+//! This crate turns that embarrassing parallelism into wall-clock speedup
+//! without any external dependency (the build environment has no crates.io
+//! access, so rayon/crossbeam are not options): plain [`std::thread`]
+//! scoped workers over hand-rolled per-worker deques.
+//!
+//! # Design
+//!
+//! * **Per-worker deques.** Jobs are dealt round-robin across `n` deques.
+//!   A worker pops its own deque LIFO (newest first — best cache locality
+//!   for the dealer's tail) and, when empty, steals from the other deques
+//!   FIFO (oldest first — steals the work its owner would reach last,
+//!   minimizing contention on the hot end).
+//! * **Deterministic results.** Every job carries its submission index and
+//!   writes into its own result slot; [`JobSet::run`] returns results in
+//!   submission order no matter which worker ran what when. Callers that
+//!   need reproducible *output* (the `repro` tables and `--trace` files)
+//!   get it for free.
+//! * **Panic propagation.** A panicking job aborts the sweep: workers stop
+//!   pulling new jobs, and the panic payload is re-raised on the caller's
+//!   thread once all workers have parked, so a sweep can never silently
+//!   drop a failed cell.
+//! * **Scoped.** Jobs may borrow from the caller's stack
+//!   ([`std::thread::scope`] underneath); no `'static` bounds, no leaked
+//!   threads, and pools nest freely (a job may run its own inner pool).
+//!
+//! ```
+//! use nvp_exec::Pool;
+//! let squares = Pool::new(4).map(vec![1u64, 2, 3, 4], |x| x * x);
+//! assert_eq!(squares, vec![1, 4, 9, 16]);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod pool;
+
+pub use pool::{available_parallelism, JobSet, Pool};

@@ -60,21 +60,31 @@ pub struct Program {
 
 impl Program {
     /// The instruction at `pc`, if in range.
+    #[inline]
     pub fn fetch(&self, pc: usize) -> Option<Instr> {
         self.instrs.get(pc).copied()
     }
 
+    /// The full instruction slice (bounds-checked once by the caller).
+    #[inline]
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
     /// Number of instructions.
+    #[inline]
     pub fn len(&self) -> usize {
         self.instrs.len()
     }
 
     /// True if the program has no instructions.
+    #[inline]
     pub fn is_empty(&self) -> bool {
         self.instrs.is_empty()
     }
 
     /// The AC-bit register mask: registers holding approximable data.
+    #[inline]
     pub fn ac_regs(&self) -> u16 {
         self.ac_regs
     }

@@ -37,16 +37,19 @@ impl RegFile {
     /// # Panics
     ///
     /// Panics if `r` or `v` is out of range.
+    #[inline]
     pub fn read(&self, r: Reg, v: usize) -> i32 {
         self.regs[r.index()][v]
     }
 
     /// Writes register `r`, version `v`.
+    #[inline]
     pub fn write(&mut self, r: Reg, v: usize, value: i32) {
         self.regs[r.index()][v] = value;
     }
 
     /// Writes the same value to versions `0..lanes`.
+    #[inline]
     pub fn write_broadcast(&mut self, r: Reg, lanes: usize, value: i32) {
         for v in 0..lanes {
             self.regs[r.index()][v] = value;

@@ -32,6 +32,7 @@ use crate::regfile::RegFile;
 use nvp_nvm::{VersionedMemory, NUM_VERSIONS};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// Outcome of retiring one instruction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -113,9 +114,13 @@ pub struct ArchSnapshot {
 }
 
 /// The NVP core.
+///
+/// The program is held behind an [`Arc`] so that sweep engines running
+/// thousands of simulations of the same kernel share one immutable copy
+/// instead of deep-cloning the instruction stream per run.
 #[derive(Debug, Clone)]
 pub struct Vm {
-    program: Program,
+    program: Arc<Program>,
     pc: usize,
     regs: RegFile,
     mem: VersionedMemory,
@@ -133,9 +138,12 @@ pub struct Vm {
 impl Vm {
     /// Creates a VM over `program` with a zeroed data memory of `mem_words`
     /// words, full-precision single-lane configuration.
-    pub fn new(program: Program, mem_words: usize) -> Self {
+    ///
+    /// Accepts either an owned [`Program`] or an `Arc<Program>`; pass the
+    /// `Arc` when many VMs run the same kernel so they share one copy.
+    pub fn new(program: impl Into<Arc<Program>>, mem_words: usize) -> Self {
         Vm {
-            program,
+            program: program.into(),
             pc: 0,
             regs: RegFile::new(),
             mem: VersionedMemory::new(mem_words),
@@ -173,6 +181,15 @@ impl Vm {
     /// The loaded program.
     pub fn program(&self) -> &Program {
         &self.program
+    }
+
+    /// The instruction about to be retired by the next [`Vm::step`], if any.
+    ///
+    /// Cheaper than `program().fetch(pc())` on the hot path: one shared
+    /// bounds check against the instruction slice, no halted special case.
+    #[inline]
+    pub fn peek(&self) -> Option<Instr> {
+        self.program.instrs().get(self.pc).copied()
     }
 
     /// Data memory (shared with the system simulator for frame I/O).
@@ -306,6 +323,7 @@ impl Vm {
         }
     }
 
+    #[inline]
     fn do_load(&mut self, d: Reg, addr: usize) {
         for l in 0..self.lanes() {
             let v = self.mem.read(addr, l);
@@ -313,6 +331,7 @@ impl Vm {
         }
     }
 
+    #[inline]
     fn do_store(&mut self, addr: usize, s: Reg) {
         let approx = self.cfg.ac_en && self.in_approx_region(addr) && self.is_ac(s);
         for l in 0..self.lanes() {
@@ -339,7 +358,7 @@ impl Vm {
         if self.halted {
             return Ok(StepEvent::Halted);
         }
-        let Some(instr) = self.program.fetch(self.pc) else {
+        let Some(instr) = self.program.instrs().get(self.pc).copied() else {
             // Running off the end behaves as halt (defensive; build()
             // requires an explicit halt).
             self.halted = true;

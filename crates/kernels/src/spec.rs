@@ -22,6 +22,7 @@ use nvp_nvm::VersionedMemory;
 use serde::{Deserialize, Serialize};
 use std::fmt;
 use std::ops::Range;
+use std::sync::Arc;
 
 /// Which value domain a kernel's output lives in, selecting the right
 /// MSE/PSNR variant.
@@ -210,8 +211,10 @@ pub struct KernelSpec {
     /// Frame height in pixels.
     pub height: usize,
     /// The one-frame program (starts with `mark_resume`, ends with
-    /// `frame_done; halt`).
-    pub program: Program,
+    /// `frame_done; halt`). Shared behind an [`Arc`] so that cloning a
+    /// spec — and every simulation run built from it — reuses one
+    /// immutable instruction stream instead of deep-copying it.
+    pub program: Arc<Program>,
     /// Total data-memory words required.
     pub mem_words: usize,
     /// Constant tables: `(base address, contents)`.
@@ -305,7 +308,7 @@ pub(crate) fn layout(
         id,
         width,
         height,
-        program,
+        program: Arc::new(program),
         mem_words: output.end as usize,
         tables,
         input,
@@ -360,7 +363,7 @@ mod tests {
             let (w, h) = id.min_dims();
             let spec = id.spec(w, h);
             let back = decode_program(&encode_program(&spec.program)).unwrap();
-            assert_eq!(spec.program, back, "{id}");
+            assert_eq!(*spec.program, back, "{id}");
         }
     }
 

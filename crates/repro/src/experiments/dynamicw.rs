@@ -1,6 +1,7 @@
 //! Figures 17–21: dynamic-bitwidth approximation.
 
 use super::{make_frames, run_system};
+use crate::sweep::sweep;
 use crate::table::fnum;
 use crate::{dims, Scale, Table};
 use incidental::QualityReport;
@@ -45,13 +46,15 @@ pub fn fig18(scale: Scale) -> Vec<Table> {
             "profile", "OFF %", "1b %", "2b %", "3b %", "4b %", "5b %", "6b %", "7b %", "8b %",
         ],
     );
-    for w in &WatchProfile::ALL[..3] {
-        let rep = dynamic_run(scale, *w, 1);
+    for cells in sweep(scale, WatchProfile::ALL[..3].to_vec(), |w| {
+        let rep = dynamic_run(scale, w, 1);
         let total = rep.total_ticks.max(1) as f64;
         let mut cells = vec![w.to_string()];
         for i in 0..9 {
             cells.push(fnum(rep.bit_utilization[i] as f64 / total * 100.0));
         }
+        cells
+    }) {
         t.row(cells);
     }
     t.note("paper (profile 1): OFF 59.7%, 8-bit 19.8%, thin tail across 1–7 bits");
@@ -72,16 +75,18 @@ pub fn fig19(scale: Scale) -> Vec<Table> {
             "2-bit PSNR",
         ],
     );
-    for w in &WatchProfile::ALL[..3] {
-        let dynq = score(scale, &dynamic_run(scale, *w, 1));
-        let fixq = score(scale, &fixed_run(scale, *w, 2));
-        t.row([
+    for row in sweep(scale, WatchProfile::ALL[..3].to_vec(), |w| {
+        let dynq = score(scale, &dynamic_run(scale, w, 1));
+        let fixq = score(scale, &fixed_run(scale, w, 2));
+        [
             w.to_string(),
             fnum(dynq.mean_mse()),
             fnum(dynq.mean_psnr()),
             fnum(fixq.mean_mse()),
             fnum(fixq.mean_psnr()),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("paper: dynamic quality roughly comparable to a 2-bit fixed solution");
     vec![t]
@@ -96,9 +101,11 @@ pub fn fig20(scale: Scale) -> Vec<Table> {
         &["profile", "dynamic FP", "2-bit FP", "dynamic / fixed"],
     );
     let mut ratios = Vec::new();
-    for w in &WatchProfile::ALL[..3] {
-        let d = dynamic_run(scale, *w, 1).forward_progress;
-        let f = fixed_run(scale, *w, 2).forward_progress;
+    for (w, d, f) in sweep(scale, WatchProfile::ALL[..3].to_vec(), |w| {
+        let d = dynamic_run(scale, w, 1).forward_progress;
+        let f = fixed_run(scale, w, 2).forward_progress;
+        (w, d, f)
+    }) {
         let r = d as f64 / f.max(1) as f64;
         ratios.push(r);
         t.row([w.to_string(), d.to_string(), f.to_string(), fnum(r)]);
@@ -129,23 +136,28 @@ pub fn fig21(scale: Scale) -> Vec<Table> {
         ],
     );
     let mut ratios = Vec::new();
-    for w in &WatchProfile::ALL[..3] {
-        let d = dynamic_run(scale, *w, 4);
-        let f = fixed_run(scale, *w, 7);
+    for (row, r) in sweep(scale, WatchProfile::ALL[..3].to_vec(), |w| {
+        let d = dynamic_run(scale, w, 4);
+        let f = fixed_run(scale, w, 7);
         let dq = score(scale, &d);
         let fq = score(scale, &f);
         let r = d.forward_progress as f64 / f.forward_progress.max(1) as f64;
+        (
+            [
+                w.to_string(),
+                fnum(dq.mean_mse()),
+                fnum(dq.mean_psnr()),
+                fnum(fq.mean_mse()),
+                fnum(fq.mean_psnr()),
+                d.forward_progress.to_string(),
+                f.forward_progress.to_string(),
+                fnum(r),
+            ],
+            r,
+        )
+    }) {
         ratios.push(r);
-        t.row([
-            w.to_string(),
-            fnum(dq.mean_mse()),
-            fnum(dq.mean_psnr()),
-            fnum(fq.mean_mse()),
-            fnum(fq.mean_psnr()),
-            d.forward_progress.to_string(),
-            f.forward_progress.to_string(),
-            fnum(r),
-        ]);
+        t.row(row);
     }
     let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
     t.note(format!(

@@ -26,14 +26,17 @@ pub use racx::fig27;
 pub use retention::{fig22, fig24, fig25};
 pub use visual::images;
 
+use crate::sweep::{capture_active, capture_append};
 use crate::{dims, Scale, Table};
-use nvp_kernels::KernelId;
+use nvp_kernels::{KernelId, KernelSpec};
 use nvp_power::synth::WatchProfile;
 use nvp_power::PowerProfile;
 use nvp_sim::{ExecMode, RunReport, SystemConfig, SystemSim};
-use nvp_trace::{Event, JsonlSink, Tracer};
+use nvp_trace::{Event, JsonlBufSink, Tracer};
+use std::collections::HashMap;
+use std::io::Write;
 use std::path::PathBuf;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Where experiment runs append their JSONL event traces, if anywhere.
 /// Set once by the CLI's `--trace` flag before experiments run.
@@ -44,6 +47,29 @@ static TRACE_PATH: Mutex<Option<PathBuf>> = Mutex::new(None);
 /// disables tracing.
 pub fn set_trace_path(path: Option<PathBuf>) {
     *TRACE_PATH.lock().expect("trace path lock") = path;
+}
+
+/// Whether a `--trace` destination is currently set.
+pub(crate) fn trace_enabled() -> bool {
+    TRACE_PATH.lock().expect("trace path lock").is_some()
+}
+
+/// Appends pre-rendered JSONL text to the trace file (the sweep engine's
+/// ordered merge of per-job capture buffers).
+pub(crate) fn append_trace_text(text: &str) {
+    if text.is_empty() {
+        return;
+    }
+    let path = TRACE_PATH.lock().expect("trace path lock").clone();
+    let Some(p) = path else { return };
+    let result = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&p)
+        .and_then(|mut f| f.write_all(text.as_bytes()));
+    if let Err(e) = result {
+        panic!("cannot write trace file {}: {e}", p.display());
+    }
 }
 
 /// Short stable tag for a mode, used in trace run labels.
@@ -58,33 +84,79 @@ fn mode_tag(mode: &ExecMode) -> &'static str {
 }
 
 /// Runs `sim`, appending a labelled trace to the `--trace` file when set.
+///
+/// Inside a sweep job the rendered JSONL goes to the job's capture buffer
+/// (merged into the file in job order by the sweep engine); outside one it
+/// is appended to the file directly. Both paths render through
+/// [`JsonlBufSink`]/[`JsonlSink`] with identical bytes per event.
 fn run_maybe_traced(sim: SystemSim, trace: &PowerProfile, label: String) -> RunReport {
-    let path = TRACE_PATH.lock().expect("trace path lock").clone();
-    match path {
-        Some(p) => {
-            let mut sink = JsonlSink::append(&p).unwrap_or_else(|e| {
-                panic!("cannot open trace file {}: {e}", p.display());
-            });
-            sink.record(&Event::RunStart {
-                tick: 0,
-                label: label.clone(),
-            });
-            let report = sim.run_traced(trace, &mut sink);
-            if let Err(e) = sink.finish() {
-                panic!("cannot write trace file {}: {e}", p.display());
-            }
-            report
-        }
-        None => sim.run(trace),
+    if !trace_enabled() {
+        return sim.run(trace);
     }
+    let mut sink = JsonlBufSink::new();
+    sink.record(&Event::RunStart {
+        tick: 0,
+        label: label.clone(),
+    });
+    let report = sim.run_traced(trace, &mut sink);
+    let text = sink.into_string();
+    if capture_active() {
+        capture_append(&text);
+    } else {
+        append_trace_text(&text);
+    }
+    report
 }
 
-/// Builds the cycled input-frame set for a kernel at scale.
-pub(crate) fn make_frames(id: KernelId, scale: Scale) -> Vec<Vec<i32>> {
-    let (w, h) = dims(id, scale.img);
-    (0..scale.frames)
-        .map(|i| id.make_input(w, h, 0xBEEF + i as u64))
-        .collect()
+/// A lazily-initialized keyed memo table shared across sweep workers.
+type Memo<K, V> = OnceLock<Mutex<HashMap<K, V>>>;
+
+/// A shared, immutable input-frame set.
+pub(crate) type Frames = Arc<Vec<Vec<i32>>>;
+
+/// Cache of built kernel specs; the contained `Program` is an `Arc`, so
+/// handing out clones shares one instruction stream across all runs.
+pub(crate) fn cached_spec(id: KernelId, w: usize, h: usize) -> KernelSpec {
+    static CACHE: Memo<(KernelId, usize, usize), KernelSpec> = OnceLock::new();
+    CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("spec cache lock")
+        .entry((id, w, h))
+        .or_insert_with(|| id.spec(w, h))
+        .clone()
+}
+
+/// Builds (or fetches) the cycled input-frame set for a kernel at scale,
+/// shared immutably across every simulation that uses it.
+pub(crate) fn make_frames(id: KernelId, scale: Scale) -> Frames {
+    static CACHE: Memo<(KernelId, usize, usize), Frames> = OnceLock::new();
+    CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("frames cache lock")
+        .entry((id, scale.img, scale.frames))
+        .or_insert_with(|| {
+            let (w, h) = dims(id, scale.img);
+            Arc::new(
+                (0..scale.frames)
+                    .map(|i| id.make_input(w, h, 0xBEEF + i as u64))
+                    .collect(),
+            )
+        })
+        .clone()
+}
+
+/// Synthesizes (or fetches) a watch profile's power trace.
+pub(crate) fn synth_profile(profile: WatchProfile, seconds: f64) -> Arc<PowerProfile> {
+    static CACHE: Memo<(WatchProfile, u64), Arc<PowerProfile>> = OnceLock::new();
+    CACHE
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .expect("profile cache lock")
+        .entry((profile, seconds.to_bits()))
+        .or_insert_with(|| Arc::new(profile.synthesize_seconds(seconds)))
+        .clone()
 }
 
 /// Runs one kernel/mode/policy combination over a watch profile.
@@ -96,14 +168,14 @@ pub(crate) fn run_system(
     tweak: impl FnOnce(&mut SystemConfig),
 ) -> RunReport {
     let (w, h) = dims(id, scale.img);
-    let spec = id.spec(w, h);
+    let spec = cached_spec(id, w, h);
     let frames = make_frames(id, scale);
     let mut cfg = SystemConfig {
         record_outputs: false,
         ..Default::default()
     };
     tweak(&mut cfg);
-    let trace = profile.synthesize_seconds(scale.trace_seconds);
+    let trace = synth_profile(profile, scale.trace_seconds);
     let label = format!("{id:?}/{profile:?}/{}", mode_tag(&mode));
     run_maybe_traced(SystemSim::new(spec, frames, mode, cfg), &trace, label)
 }
@@ -118,7 +190,7 @@ pub(crate) fn run_system_on(
     tweak: impl FnOnce(&mut SystemConfig),
 ) -> RunReport {
     let (w, h) = dims(id, scale.img);
-    let spec = id.spec(w, h);
+    let spec = cached_spec(id, w, h);
     let frames = make_frames(id, scale);
     let mut cfg = SystemConfig {
         record_outputs: false,

@@ -1,7 +1,8 @@
 //! Figure 9, Figure 28, Table 2 and the Section 2.2 / 3.2 / 7 results,
 //! plus the design-choice ablations.
 
-use super::{make_frames, run_system};
+use super::{cached_spec, make_frames, run_system, synth_profile};
+use crate::sweep::sweep;
 use crate::table::fnum;
 use crate::{dims, Scale, Table};
 use incidental::{policy_for, table2 as tuned_policies, QosTarget, QualityReport};
@@ -38,11 +39,11 @@ pub fn fig9(scale: Scale) -> Vec<Table> {
         ),
         ("4-SIMD NVP", ExecMode::Simd4),
     ];
-    for (name, mode) in cases {
+    for row in sweep(scale, cases, |(name, mode)| {
         let rep = run_system(KernelId::Median, scale, WatchProfile::P2, mode, |c| {
             c.backup_policy = RetentionPolicy::Linear;
         });
-        t.row([
+        [
             name.to_string(),
             fnum(rep.system_on_fraction() * 100.0),
             rep.instructions_retired.to_string(),
@@ -50,7 +51,9 @@ pub fn fig9(scale: Scale) -> Vec<Table> {
             (rep.frames_committed + rep.incidental_frames).to_string(),
             rep.backups.to_string(),
             rep.merges.to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("paper: on-time 42% (8-bit), 38.7% (a1,b), 16% (a2,b), 3% (4-SIMD);");
     t.note(
@@ -73,12 +76,14 @@ pub fn waitcompute(scale: Scale) -> Vec<Table> {
         &["profile", "NVP FP", "wait-compute FP", "NVP / WC"],
     );
     let mut ratios = Vec::new();
-    for wp in WatchProfile::ALL {
-        let trace = wp.synthesize_seconds(scale.trace_seconds);
+    for (wp, nvp, wc) in sweep(scale, WatchProfile::ALL.to_vec(), |wp| {
         let nvp = run_system(id, scale, wp, ExecMode::Precise, |_| {}).forward_progress;
+        let trace = synth_profile(wp, scale.trace_seconds);
         let wc = WaitComputeSim::new(frame_instr)
             .run(&trace)
             .forward_progress;
+        (wp, nvp, wc)
+    }) {
         let cell = if wc == 0 {
             "inf (WC starved)".to_string()
         } else {
@@ -103,14 +108,16 @@ pub fn backup_cost(scale: Scale) -> Vec<Table> {
         "Section 3.2 — backup rate and energy share (median, precise NVP)",
         &["profile", "backups / min", "backup energy share %"],
     );
-    for wp in &WatchProfile::ALL[..3] {
-        let rep = run_system(KernelId::Median, scale, *wp, ExecMode::Precise, |_| {});
+    for row in sweep(scale, WatchProfile::ALL[..3].to_vec(), |wp| {
+        let rep = run_system(KernelId::Median, scale, wp, ExecMode::Precise, |_| {});
         let minutes = (rep.total_ticks as f64 * 1e-4) / 60.0;
-        t.row([
+        [
             wp.to_string(),
             fnum(rep.backups as f64 / minutes),
             fnum(rep.backup_energy_fraction() * 100.0),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("paper: 1400–1700 backups/min costing 20.1–33% of income energy");
     vec![t]
@@ -124,14 +131,15 @@ pub fn frametime(scale: Scale) -> Vec<Table> {
         "Section 7 — seconds per completed frame (profile 1)",
         &["kernel", "wait-compute", "precise NVP", "incidental NVP"],
     );
-    let trace = WatchProfile::P1.synthesize_seconds(scale.trace_seconds);
-    for id in [
+    let trace = synth_profile(WatchProfile::P1, scale.trace_seconds);
+    let kernels = vec![
         KernelId::SusanCorners,
         KernelId::SusanEdges,
         KernelId::JpegEncode,
-    ] {
+    ];
+    for row in sweep(scale, kernels, |id| {
         let (w, h) = dims(id, scale.img);
-        let spec = id.spec(w, h);
+        let spec = cached_spec(id, w, h);
         let input = id.make_input(w, h, 1);
         let frame_instr = instructions_per_frame(&spec, &input);
         let wc = WaitComputeSim::new(frame_instr).run(&trace);
@@ -152,7 +160,9 @@ pub fn frametime(scale: Scale) -> Vec<Table> {
             |c| c.backup_policy = policy.backup,
         );
         let inc_spf = spf(scale, inc.frames_committed + inc.incidental_frames);
-        t.row([id.to_string(), wc_spf, nvp_spf, inc_spf]);
+        [id.to_string(), wc_spf, nvp_spf, inc_spf]
+    }) {
+        t.row(row);
     }
     t.note("paper (256×256): e.g. susan.corners 1.65 s → 0.97 s → 0.3 s; ordering WC > NVP > incidental");
     vec![t]
@@ -190,7 +200,7 @@ pub fn fig28(scale: Scale, ablate: bool) -> Vec<Table> {
         &columns,
     );
     let mut grand = Vec::new();
-    for id in KernelId::ALL {
+    for (cells, mean) in sweep(scale, KernelId::ALL.to_vec(), |id| {
         let policy = policy_for(id);
         let mut cells = vec![id.to_string()];
         let mut ratios = Vec::new();
@@ -209,7 +219,6 @@ pub fn fig28(scale: Scale, ablate: bool) -> Vec<Table> {
             cells.push(format!("{}x", fnum(r)));
         }
         let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
-        grand.push(mean);
         cells.push(format!("{}x", fnum(mean)));
         if ablate {
             let wp = WatchProfile::P1;
@@ -234,6 +243,9 @@ pub fn fig28(scale: Scale, ablate: bool) -> Vec<Table> {
             ));
             cells.push(format!("{}x", fnum(simd_only as f64 / base.max(1) as f64)));
         }
+        (cells, mean)
+    }) {
+        grand.push(mean);
         t.row(cells);
     }
     let overall = grand.iter().sum::<f64>() / grand.len() as f64;
@@ -262,7 +274,7 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             "met?",
         ],
     );
-    for policy in tuned_policies() {
+    for row in sweep(scale, tuned_policies(), |policy| {
         let id = policy.kernel;
         let (w, h) = dims(id, scale.img);
         let frames = make_frames(id, scale);
@@ -297,7 +309,7 @@ pub fn table2(scale: Scale) -> Vec<Table> {
                 )
             }
         };
-        t.row([
+        [
             id.to_string(),
             policy.target.to_string(),
             policy.minbits.to_string(),
@@ -309,7 +321,9 @@ pub fn table2(scale: Scale) -> Vec<Table> {
             policy.backup.to_string(),
             achieved,
             if met { "Yes".into() } else { "No".into() },
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("paper: all PSNR targets met; JPEG meets its 150% size target on 97% of frames");
     vec![t]
@@ -356,7 +370,7 @@ pub fn ablate_simd(scale: Scale) -> Vec<Table> {
             "incidental frames",
         ],
     );
-    for lanes in [1u8, 2, 4] {
+    for row in sweep(scale, vec![1u8, 2, 4], |lanes| {
         let rep = run_system(
             KernelId::Median,
             scale,
@@ -367,12 +381,14 @@ pub fn ablate_simd(scale: Scale) -> Vec<Table> {
                 c.backup_policy = RetentionPolicy::Linear;
             },
         );
-        t.row([
+        [
             lanes.to_string(),
             rep.forward_progress.to_string(),
             rep.merges.to_string(),
             rep.incidental_frames.to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("wider SIMD amortizes fetch energy over more parked frames");
     vec![t]
@@ -390,7 +406,7 @@ pub fn ablate_buffer(scale: Scale) -> Vec<Table> {
             "abandoned frames",
         ],
     );
-    for slots in [1u8, 2, 3] {
+    for row in sweep(scale, vec![1u8, 2, 3], |slots| {
         // A weak profile with an aggressive data deadline forces frequent
         // roll-forwards, so the parking FIFO actually fills.
         let setup = IncidentalSetup::new(2, 8).with_staleness(nvp_power::Ticks(300));
@@ -404,12 +420,14 @@ pub fn ablate_buffer(scale: Scale) -> Vec<Table> {
                 c.backup_policy = RetentionPolicy::Linear;
             },
         );
-        t.row([
+        [
             slots.to_string(),
             rep.forward_progress.to_string(),
             rep.merges.to_string(),
             rep.frames_abandoned.to_string(),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("paper uses a 4-entry buffer (3 parked + 1 live); deeper buffers convert abandonments into merges");
     vec![t]

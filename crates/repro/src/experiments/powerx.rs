@@ -1,5 +1,6 @@
 //! Figures 2 and 3: power profiles and outage statistics.
 
+use crate::sweep::sweep;
 use crate::table::fnum;
 use crate::{Scale, Table};
 use nvp_power::outage::OutageStats;
@@ -22,18 +23,20 @@ pub fn fig2(scale: Scale) -> Vec<Table> {
             "dark fraction",
         ],
     );
-    for w in WatchProfile::ALL {
+    for row in sweep(scale, WatchProfile::ALL.to_vec(), |w| {
         let p = w.synthesize_seconds(scale.trace_seconds.max(10.0));
         let window = p.segment(Ticks(0), Ticks::from_seconds(10.0));
         let stats = OutageStats::extract(&window, Power::from_uw(OPERATING_THRESHOLD_UW));
-        t.row([
+        [
             w.to_string(),
             fnum(p.mean().as_uw()),
             fnum(p.peak().as_uw()),
             fnum(p.duty_cycle(Power::from_uw(OPERATING_THRESHOLD_UW))),
             stats.count().to_string(),
             fnum(stats.dark_fraction()),
-        ]);
+        ]
+    }) {
+        t.row(row);
     }
     t.note("paper: 10–40 µW average, spikes to 2000 µW, 1000–2000 emergencies per 10 s");
     vec![t]

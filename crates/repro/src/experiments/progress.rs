@@ -1,6 +1,7 @@
 //! Figures 15 and 16: forward progress and backup counts vs bitwidth.
 
 use super::run_system;
+use crate::sweep::sweep;
 use crate::table::fnum;
 use crate::{Scale, Table};
 use nvp_isa::ApproxConfig;
@@ -8,32 +9,31 @@ use nvp_kernels::KernelId;
 use nvp_power::synth::WatchProfile;
 use nvp_sim::ExecMode;
 
-fn sweep(scale: Scale) -> Vec<Vec<(u64, u64)>> {
+fn bit_sweep(scale: Scale) -> Vec<Vec<(u64, u64)>> {
     // [profile][bit index: 8..=1] -> (forward progress, backups)
-    WatchProfile::ALL
+    // Flattened profile-major (bits descending inside) so the parallel
+    // sweep's job order matches the serial iteration order exactly.
+    let cells: Vec<(WatchProfile, u8)> = WatchProfile::ALL
         .iter()
-        .map(|&w| {
-            (1..=8u8)
-                .rev()
-                .map(|bits| {
-                    let rep = run_system(
-                        KernelId::Median,
-                        scale,
-                        w,
-                        ExecMode::Fixed(ApproxConfig::fixed(bits)),
-                        |_| {},
-                    );
-                    (rep.forward_progress, rep.backups)
-                })
-                .collect()
-        })
-        .collect()
+        .flat_map(|&w| (1..=8u8).rev().map(move |bits| (w, bits)))
+        .collect();
+    let flat = sweep(scale, cells, |(w, bits)| {
+        let rep = run_system(
+            KernelId::Median,
+            scale,
+            w,
+            ExecMode::Fixed(ApproxConfig::fixed(bits)),
+            |_| {},
+        );
+        (rep.forward_progress, rep.backups)
+    });
+    flat.chunks(8).map(|c| c.to_vec()).collect()
 }
 
 /// Figure 15: forward progress on different bitwidths (ALU + memory
 /// reduced in tandem), five power profiles.
 pub fn fig15(scale: Scale) -> Vec<Table> {
-    let data = sweep(scale);
+    let data = bit_sweep(scale);
     let mut t = Table::new(
         "fig15_fp_vs_bits",
         "Figure 15 — forward progress vs reliable bits (median)",
@@ -66,7 +66,7 @@ pub fn fig15(scale: Scale) -> Vec<Table> {
 
 /// Figure 16: backups on different bitwidths.
 pub fn fig16(scale: Scale) -> Vec<Table> {
-    let data = sweep(scale);
+    let data = bit_sweep(scale);
     let mut t = Table::new(
         "fig16_backups_vs_bits",
         "Figure 16 — number of backups vs reliable bits (median)",

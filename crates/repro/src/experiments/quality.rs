@@ -1,6 +1,8 @@
 //! Figures 11–14: fixed-bitwidth quality study (no power interruptions),
 //! plus the statically-proven safe-bits companion table.
 
+use super::cached_spec;
+use crate::sweep::sweep;
 use crate::table::fnum;
 use crate::{dims, Scale, Table};
 use nvp_analysis::{bitwidth_report, Cfg, NEVER_SAFE};
@@ -13,7 +15,7 @@ fn quality_sweep(
     name: &str,
     title: &str,
     scale: Scale,
-    cfg_for: impl Fn(u8) -> ApproxConfig,
+    cfg_for: impl Fn(u8) -> ApproxConfig + Sync,
 ) -> Vec<Table> {
     let mut mse_t = Table::new(
         format!("{name}_mse"),
@@ -25,29 +27,30 @@ fn quality_sweep(
         format!("{title} — PSNR (dB) vs reliable bits"),
         &["bits", "sobel", "median", "integral"],
     );
+    // Kernel-major, bits ascending inside — one sweep job per cell.
+    let cells: Vec<(KernelId, u8)> = KernelId::QUALITY_TRIO
+        .iter()
+        .flat_map(|&id| (1..=7u8).map(move |bits| (id, bits)))
+        .collect();
+    let cfg_for = &cfg_for;
+    let flat = sweep(scale, cells, |(id, bits)| {
+        let (w, h) = dims(id, scale.img.max(16));
+        let spec = cached_spec(id, w, h);
+        let input = id.make_input(w, h, 0x51);
+        let golden = id.golden(&input, w, h);
+        let out = run_fixed(&spec, &input, cfg_for(bits), 0xB1 + bits as u64);
+        match id.quality_domain() {
+            QualityDomain::Clamped => (quality::mse(&golden, &out), quality::psnr(&golden, &out)),
+            QualityDomain::Raw => (
+                quality::mse_raw(&golden, &out),
+                quality::psnr_raw(&golden, &out),
+            ),
+        }
+    });
     let per_kernel: Vec<(KernelId, Vec<(f64, f64)>)> = KernelId::QUALITY_TRIO
         .iter()
-        .map(|&id| {
-            let (w, h) = dims(id, scale.img.max(16));
-            let spec = id.spec(w, h);
-            let input = id.make_input(w, h, 0x51);
-            let golden = id.golden(&input, w, h);
-            let series = (1..=7u8)
-                .map(|bits| {
-                    let out = run_fixed(&spec, &input, cfg_for(bits), 0xB1 + bits as u64);
-                    match id.quality_domain() {
-                        QualityDomain::Clamped => {
-                            (quality::mse(&golden, &out), quality::psnr(&golden, &out))
-                        }
-                        QualityDomain::Raw => (
-                            quality::mse_raw(&golden, &out),
-                            quality::psnr_raw(&golden, &out),
-                        ),
-                    }
-                })
-                .collect();
-            (id, series)
-        })
+        .zip(flat.chunks(7))
+        .map(|(&id, series)| (id, series.to_vec()))
         .collect();
     for (i, bits) in (1..=7u8).enumerate().collect::<Vec<_>>().into_iter().rev() {
         let cells_mse: Vec<String> = std::iter::once(bits.to_string())
@@ -104,9 +107,9 @@ pub fn safebits(scale: Scale) -> Vec<Table> {
             "kernel", "floor", "1b", "2b", "3b", "4b", "5b", "6b", "7b", "8b",
         ],
     );
-    for id in KernelId::ALL {
+    for cells in sweep(scale, KernelId::ALL.to_vec(), |id| {
         let (w, h) = dims(id, scale.img.max(16));
-        let spec = id.spec(w, h);
+        let spec = cached_spec(id, w, h);
         let cfg = Cfg::build(&spec.program);
         let report = bitwidth_report(
             &spec.program,
@@ -123,6 +126,8 @@ pub fn safebits(scale: Scale) -> Vec<Table> {
             .into_iter()
             .chain((1..=8usize).map(|b| fmt_err(report.output_err[b - 1])))
             .collect();
+        cells
+    }) {
         t.row(cells);
     }
     t.note("abstract-interpretation worst cases, not measurements; 8b is exactly 0 by the deterministic-op rule");

@@ -1,5 +1,6 @@
 //! Figures 26–27: recompute-and-combine quality recovery.
 
+use crate::sweep::sweep;
 use crate::table::fnum;
 use crate::{dims, Scale, Table};
 use incidental::recompute_and_combine;
@@ -21,22 +22,19 @@ pub fn fig27(scale: Scale) -> Vec<Table> {
         "Figure 27 — PSNR (dB) vs recomputation passes (median, higherbits merge)",
         &["passes", "minbits 1", "minbits 2", "minbits 4", "minbits 6"],
     );
-    let series: Vec<Vec<f64>> = [1u8, 2, 4, 6]
-        .iter()
-        .map(|&mb| {
-            recompute_and_combine(
-                id,
-                w,
-                h,
-                &input,
-                mb,
-                passes,
-                MergeMode::HigherBits,
-                &profile,
-            )
-            .psnr_after_pass
-        })
-        .collect();
+    let series: Vec<Vec<f64>> = sweep(scale, vec![1u8, 2, 4, 6], |mb| {
+        recompute_and_combine(
+            id,
+            w,
+            h,
+            &input,
+            mb,
+            passes,
+            MergeMode::HigherBits,
+            &profile,
+        )
+        .psnr_after_pass
+    });
     for p in 0..passes {
         let cells: Vec<String> = std::iter::once((p + 1).to_string())
             .chain(series.iter().map(|s| fnum(s[p])))

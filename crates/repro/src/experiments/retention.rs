@@ -1,6 +1,7 @@
 //! Figures 22–25: backup/recovery approximation via retention shaping.
 
 use super::{make_frames, run_system};
+use crate::sweep::sweep;
 use crate::table::fnum;
 use crate::{dims, Scale, Table};
 use incidental::QualityReport;
@@ -22,7 +23,16 @@ fn run_with_policy(scale: Scale, w: WatchProfile, policy: RetentionPolicy) -> Ru
 /// shaping policies across profiles 1–3.
 pub fn fig22(scale: Scale) -> Vec<Table> {
     let mut tables = Vec::new();
-    for policy in RetentionPolicy::SHAPED {
+    // Policy-major, profile-minor: the same order the serial loops used.
+    let cells: Vec<(RetentionPolicy, WatchProfile)> = RetentionPolicy::SHAPED
+        .iter()
+        .flat_map(|&p| WatchProfile::ALL[..3].iter().map(move |&w| (p, w)))
+        .collect();
+    let flat = sweep(scale, cells, |(policy, w)| {
+        run_with_policy(scale, w, policy)
+    });
+    for (policy, reps) in RetentionPolicy::SHAPED.iter().zip(flat.chunks(3)) {
+        let policy = *policy;
         let mut t = Table::new(
             format!("fig22_failures_{policy}"),
             format!("Figure 22 — retention times & failures, {policy} policy (median)"),
@@ -34,10 +44,6 @@ pub fn fig22(scale: Scale) -> Vec<Table> {
                 "fails p3",
             ],
         );
-        let reps: Vec<RunReport> = WatchProfile::ALL[..3]
-            .iter()
-            .map(|&w| run_with_policy(scale, w, policy))
-            .collect();
         for b in (1..=8u8).rev() {
             t.row([
                 b.to_string(),
@@ -64,16 +70,19 @@ pub fn fig24(scale: Scale) -> Vec<Table> {
     );
     let (wd, hd) = dims(KERNEL, scale.img);
     let frames = make_frames(KERNEL, scale);
-    for policy in RetentionPolicy::SHAPED {
+    let combos: Vec<(RetentionPolicy, WatchProfile)> = RetentionPolicy::SHAPED
+        .iter()
+        .flat_map(|&p| WatchProfile::ALL[..3].iter().map(move |&w| (p, w)))
+        .collect();
+    let flat = sweep(scale, combos, |(policy, w)| {
+        let rep = run_with_policy(scale, w, policy);
+        let q = QualityReport::score(KERNEL, wd, hd, &frames, &rep);
+        (fnum(q.mean_mse()), fnum(q.mean_psnr()))
+    });
+    for (policy, scores) in RetentionPolicy::SHAPED.iter().zip(flat.chunks(3)) {
         let mut cells = vec![policy.to_string()];
-        let mut psnrs = Vec::new();
-        for w in &WatchProfile::ALL[..3] {
-            let rep = run_with_policy(scale, *w, policy);
-            let q = QualityReport::score(KERNEL, wd, hd, &frames, &rep);
-            cells.push(fnum(q.mean_mse()));
-            psnrs.push(fnum(q.mean_psnr()));
-        }
-        cells.extend(psnrs);
+        cells.extend(scores.iter().map(|(mse, _)| mse.clone()));
+        cells.extend(scores.iter().map(|(_, psnr)| psnr.clone()));
         t.row(cells);
     }
     t.note("paper: PSNR similar across policies; log surprisingly best on MSE");
@@ -88,15 +97,20 @@ pub fn fig25(scale: Scale) -> Vec<Table> {
         "Figure 25 — FP improvement vs 8-bit/1-day backup baseline (median)",
         &["policy", "profile 1", "profile 2", "profile 3", "mean"],
     );
-    let baseline: Vec<u64> = WatchProfile::ALL[..3]
+    let baseline: Vec<u64> = sweep(scale, WatchProfile::ALL[..3].to_vec(), |w| {
+        run_with_policy(scale, w, RetentionPolicy::one_day()).forward_progress
+    });
+    let combos: Vec<(RetentionPolicy, WatchProfile)> = RetentionPolicy::SHAPED
         .iter()
-        .map(|&w| run_with_policy(scale, w, RetentionPolicy::one_day()).forward_progress)
+        .flat_map(|&p| WatchProfile::ALL[..3].iter().map(move |&w| (p, w)))
         .collect();
-    for policy in RetentionPolicy::SHAPED {
+    let flat = sweep(scale, combos, |(policy, w)| {
+        run_with_policy(scale, w, policy).forward_progress
+    });
+    for (policy, fps) in RetentionPolicy::SHAPED.iter().zip(flat.chunks(3)) {
         let mut cells = vec![policy.to_string()];
         let mut ratios = Vec::new();
-        for (i, w) in WatchProfile::ALL[..3].iter().enumerate() {
-            let fp = run_with_policy(scale, *w, policy).forward_progress;
+        for (i, &fp) in fps.iter().enumerate() {
             let r = fp as f64 / baseline[i].max(1) as f64;
             ratios.push(r);
             cells.push(format!("{}x", fnum(r)));

@@ -11,6 +11,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod sweep;
 pub mod table;
 
 pub use table::Table;
@@ -26,6 +27,9 @@ pub struct Scale {
     pub img: usize,
     /// Number of distinct input frames to cycle.
     pub frames: usize,
+    /// Worker threads for experiment sweeps: 0 = auto (hardware width),
+    /// 1 = serial reference path.
+    pub jobs: usize,
 }
 
 impl Scale {
@@ -35,6 +39,7 @@ impl Scale {
             trace_seconds: 10.0,
             img: 24,
             frames: 6,
+            jobs: 0,
         }
     }
 
@@ -44,6 +49,21 @@ impl Scale {
             trace_seconds: 1.5,
             img: 12,
             frames: 2,
+            jobs: 0,
+        }
+    }
+
+    /// Same scale with an explicit sweep worker count.
+    pub fn with_jobs(self, jobs: usize) -> Scale {
+        Scale { jobs, ..self }
+    }
+
+    /// The worker count sweeps will actually use (resolves 0 = auto).
+    pub fn effective_jobs(&self) -> usize {
+        if self.jobs == 0 {
+            nvp_exec::available_parallelism()
+        } else {
+            self.jobs
         }
     }
 }

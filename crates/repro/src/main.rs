@@ -2,8 +2,8 @@
 //! IoT Nonvolatile Processors* (MICRO-50, 2017).
 //!
 //! ```text
-//! repro <experiment>... [--quick] [--csv DIR] [--ablate] [--trace FILE]
-//! repro all [--quick] [--csv DIR]
+//! repro <experiment>... [--quick] [--jobs N] [--csv DIR] [--ablate] [--trace FILE]
+//! repro all [--quick] [--csv DIR] [--perf-out FILE]
 //! repro list
 //! ```
 
@@ -11,6 +11,7 @@ use nvp_repro::experiments;
 use nvp_repro::{Scale, Table};
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Instant;
 
 const EXPERIMENTS: &[(&str, &str)] = &[
     ("fig2", "watch power profiles"),
@@ -57,16 +58,32 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let mut names: Vec<String> = Vec::new();
-    let mut scale = Scale::full();
+    let mut quick = false;
+    let mut jobs = 0usize; // 0 = auto (available parallelism)
     let mut csv_dir: Option<PathBuf> = None;
     let mut out_dir = PathBuf::from("figures");
     let mut trace_path: Option<PathBuf> = None;
+    let mut perf_out: Option<PathBuf> = None;
     let mut ablate = false;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
-            "--quick" => scale = Scale::quick(),
+            "--quick" => quick = true,
             "--ablate" => ablate = true,
+            "--jobs" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
+                Some(n) if n >= 1 => jobs = n,
+                _ => {
+                    eprintln!("--jobs requires a positive integer");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--perf-out" => match it.next() {
+                Some(p) => perf_out = Some(PathBuf::from(p)),
+                None => {
+                    eprintln!("--perf-out requires a file path");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--csv" => match it.next() {
                 Some(d) => csv_dir = Some(PathBuf::from(d)),
                 None => {
@@ -104,6 +121,22 @@ fn main() -> ExitCode {
     if names.is_empty() {
         usage();
         return ExitCode::FAILURE;
+    }
+    let scale = if quick { Scale::quick() } else { Scale::full() }.with_jobs(jobs);
+    if let Some(p) = &perf_out {
+        // Perf mode: time each experiment serial vs parallel, check the
+        // outputs match, and write a JSON report instead of the tables.
+        if trace_path.is_some() {
+            eprintln!("--perf-out cannot be combined with --trace");
+            return ExitCode::FAILURE;
+        }
+        return match perf_report(&names, scale, ablate, p) {
+            Ok(code) => code,
+            Err(e) => {
+                eprintln!("failed to write perf report {}: {e}", p.display());
+                ExitCode::FAILURE
+            }
+        };
     }
     if let Some(p) = &trace_path {
         // Truncate up front so each invocation produces a fresh trace, then
@@ -158,6 +191,81 @@ fn main() -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// Run every named experiment twice — serial (`--jobs 1`) and at the
+/// requested parallelism — verify the rendered tables are identical, and
+/// write a hand-rolled JSON wall-clock report.
+fn perf_report(
+    names: &[String],
+    scale: Scale,
+    ablate: bool,
+    path: &PathBuf,
+) -> std::io::Result<ExitCode> {
+    let jobs = scale.effective_jobs();
+    let serial = scale.with_jobs(1);
+    // Expand `all` so the report gets one timing entry per experiment
+    // (`images` is excluded: it writes files rather than tables).
+    let names: Vec<String> = if names == ["all"] {
+        EXPERIMENTS
+            .iter()
+            .map(|(n, _)| n.to_string())
+            .filter(|n| n != "images")
+            .collect()
+    } else {
+        names.to_vec()
+    };
+    let mut entries = String::new();
+    let (mut total_serial, mut total_parallel) = (0.0f64, 0.0f64);
+    let mut all_identical = true;
+    for name in &names {
+        let t0 = Instant::now();
+        let Some(base) = run_experiment(name, serial, ablate) else {
+            eprintln!("unknown experiment '{name}' — try `repro list`");
+            return Ok(ExitCode::FAILURE);
+        };
+        let serial_s = t0.elapsed().as_secs_f64();
+        let t1 = Instant::now();
+        let par = run_experiment(name, scale, ablate).unwrap();
+        let parallel_s = t1.elapsed().as_secs_f64();
+        let rendered = |ts: &[Table]| ts.iter().map(|t| t.to_string()).collect::<String>();
+        let identical = rendered(&base) == rendered(&par);
+        all_identical &= identical;
+        total_serial += serial_s;
+        total_parallel += parallel_s;
+        eprintln!(
+            "{name:<14} serial {serial_s:>7.3}s  x{jobs} {parallel_s:>7.3}s  \
+             speedup {:>5.2}x  identical={identical}",
+            serial_s / parallel_s.max(1e-9)
+        );
+        if !entries.is_empty() {
+            entries.push(',');
+        }
+        entries.push_str(&format!(
+            "\n    {{\"experiment\": \"{name}\", \"serial_s\": {serial_s:.6}, \
+             \"parallel_s\": {parallel_s:.6}, \"speedup\": {:.4}, \"identical\": {identical}}}",
+            serial_s / parallel_s.max(1e-9)
+        ));
+    }
+    let json = format!(
+        "{{\n  \"jobs\": {jobs},\n  \"host_cpus\": {},\n  \"scale\": {{\"trace_seconds\": {}, \
+         \"img\": {}, \"frames\": {}}},\n  \"experiments\": [{entries}\n  ],\n  \
+         \"total_serial_s\": {total_serial:.6},\n  \"total_parallel_s\": {total_parallel:.6},\n  \
+         \"total_speedup\": {:.4},\n  \"all_identical\": {all_identical}\n}}\n",
+        nvp_exec::available_parallelism(),
+        scale.trace_seconds,
+        scale.img,
+        scale.frames,
+        total_serial / total_parallel.max(1e-9)
+    );
+    std::fs::write(path, json)?;
+    eprintln!("perf report written to {}", path.display());
+    Ok(if all_identical {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("ERROR: parallel output differs from serial output");
+        ExitCode::FAILURE
+    })
+}
+
 fn run_experiment(name: &str, scale: Scale, ablate: bool) -> Option<Vec<Table>> {
     use experiments as e;
     Some(match name {
@@ -195,10 +303,15 @@ fn usage() {
     eprintln!("repro — regenerate the MICRO'17 incidental-computing evaluation");
     eprintln!();
     eprintln!(
-        "usage: repro <experiment>... [--quick] [--csv DIR] [--out DIR] [--ablate] [--trace FILE]"
+        "usage: repro <experiment>... [--quick] [--jobs N] [--csv DIR] [--out DIR] [--ablate] [--trace FILE]"
     );
-    eprintln!("       repro all [--quick] [--csv DIR]");
+    eprintln!("       repro all [--quick] [--csv DIR] [--perf-out FILE]");
     eprintln!("       repro list");
+    eprintln!();
+    eprintln!(
+        "  --jobs N      worker threads for parameter sweeps (default: all cores; 1 = serial)"
+    );
+    eprintln!("  --perf-out F  time each experiment serial vs parallel, write a JSON report");
     eprintln!();
     eprintln!("run `repro list` for the experiment catalogue");
 }

@@ -1,0 +1,64 @@
+//! Parallel sweeps must be indistinguishable from serial runs: identical
+//! rendered tables and byte-identical JSONL traces, regardless of worker
+//! count or scheduling.
+
+use nvp_repro::{experiments, Scale, Table};
+use std::path::PathBuf;
+
+fn render(tables: &[Table]) -> String {
+    tables.iter().map(|t| t.to_string()).collect()
+}
+
+type Experiment = fn(Scale) -> Vec<Table>;
+
+#[test]
+fn parallel_tables_match_serial() {
+    let serial = Scale::quick().with_jobs(1);
+    let par = Scale::quick().with_jobs(4);
+    let cases: &[(&str, Experiment)] = &[
+        ("fig9", experiments::fig9),
+        ("fig12", experiments::fig12),
+        ("fig15", experiments::fig15),
+        ("fig18", experiments::fig18),
+        ("fig22", experiments::fig22),
+        ("fig25", experiments::fig25),
+        ("table2", experiments::table2),
+    ];
+    for (name, f) in cases {
+        let a = render(&f(serial));
+        let b = render(&f(par));
+        assert_eq!(a, b, "{name}: --jobs 4 output differs from serial");
+    }
+}
+
+/// Trace files are compared as raw bytes. The trace destination is
+/// process-global, so this single test owns it for its whole duration —
+/// do not add further `#[test]`s to this file that enable tracing.
+#[test]
+fn parallel_traces_match_serial_byte_for_byte() {
+    let dir = std::env::temp_dir();
+    let trace_for = |scale: Scale, tag: &str| -> Vec<u8> {
+        let path: PathBuf = dir.join(format!(
+            "nvp_determinism_{}_{tag}.jsonl",
+            std::process::id()
+        ));
+        std::fs::File::create(&path).expect("create trace file");
+        experiments::set_trace_path(Some(path.clone()));
+        experiments::fig9(scale);
+        experiments::fig22(scale);
+        experiments::set_trace_path(None);
+        let bytes = std::fs::read(&path).expect("read trace file");
+        let _ = std::fs::remove_file(&path);
+        bytes
+    };
+    let serial = trace_for(Scale::quick().with_jobs(1), "serial");
+    let par = trace_for(Scale::quick().with_jobs(4), "par4");
+    assert!(!serial.is_empty(), "serial trace is empty");
+    assert_eq!(
+        serial,
+        par,
+        "--jobs 4 trace differs from serial trace ({} vs {} bytes)",
+        serial.len(),
+        par.len()
+    );
+}

@@ -23,6 +23,7 @@ use nvp_trace::{emit, Event, NoopTracer, SwitchReason, Tracer};
 use rand::rngs::SmallRng;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+use std::sync::Arc;
 
 /// Cycles available per 0.1 ms tick at the 1 MHz core clock.
 pub const CYCLES_PER_TICK: u64 = 100;
@@ -277,7 +278,9 @@ enum Phase {
 #[derive(Debug)]
 pub struct SystemSim {
     spec: KernelSpec,
-    frames: Vec<Vec<i32>>,
+    /// Input frames, shared immutably: a sweep running many configurations
+    /// of the same workload clones the `Arc`, not the pixel data.
+    frames: Arc<Vec<Vec<i32>>>,
     mode: ExecMode,
     cfg: SystemConfig,
     vm: Vm,
@@ -306,9 +309,15 @@ impl SystemSim {
     /// # Panics
     ///
     /// Panics if `frames` is empty or any frame has the wrong length.
-    pub fn new(spec: KernelSpec, frames: Vec<Vec<i32>>, mode: ExecMode, cfg: SystemConfig) -> Self {
+    pub fn new(
+        spec: KernelSpec,
+        frames: impl Into<Arc<Vec<Vec<i32>>>>,
+        mode: ExecMode,
+        cfg: SystemConfig,
+    ) -> Self {
+        let frames = frames.into();
         assert!(!frames.is_empty(), "need at least one input frame");
-        for f in &frames {
+        for f in frames.iter() {
             assert_eq!(f.len(), spec.input_len(), "frame length mismatch");
         }
         let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
@@ -866,7 +875,7 @@ impl SystemSim {
             if self.is_incidental() {
                 self.try_merge(tick, tracer);
             }
-            let Some(instr) = self.spec.program.fetch(self.vm.pc()) else {
+            let Some(instr) = self.vm.peek() else {
                 // Defensive: treat running off the end as frame completion.
                 self.commit_frames(tick, tracer);
                 continue;

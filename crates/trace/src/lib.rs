@@ -35,7 +35,9 @@ mod timeline;
 
 pub use diff::{diff, TraceDiff};
 pub use event::{Event, EventKind, ParseError, SwitchReason};
-pub use sink::{emit, CounterSink, JsonlSink, NoopTracer, RingSink, TeeSink, Tracer, VecSink};
+pub use sink::{
+    emit, CounterSink, JsonlBufSink, JsonlSink, NoopTracer, RingSink, TeeSink, Tracer, VecSink,
+};
 pub use summary::{
     EnergyLedger, Histogram, LedgerMismatch, ReadError, RunEndTotals, RunSummary, TraceSummary,
 };

@@ -212,6 +212,49 @@ impl Drop for JsonlSink {
     }
 }
 
+/// Renders events to JSONL in memory, byte-for-byte what [`JsonlSink`]
+/// would write to a file.
+///
+/// This is the building block for deterministic parallel tracing: each
+/// sweep job records into its own `JsonlBufSink`, and the sweep engine
+/// concatenates the buffers in job-submission order, producing a trace
+/// file identical to a serial run's.
+#[derive(Debug, Clone, Default)]
+pub struct JsonlBufSink {
+    buf: String,
+    written: u64,
+}
+
+impl JsonlBufSink {
+    /// Creates an empty buffer sink.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Events recorded so far.
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// The accumulated JSONL text (one `\n`-terminated line per event).
+    pub fn as_str(&self) -> &str {
+        &self.buf
+    }
+
+    /// Consumes the sink, returning the accumulated JSONL text.
+    pub fn into_string(self) -> String {
+        self.buf
+    }
+}
+
+impl Tracer for JsonlBufSink {
+    fn record(&mut self, ev: &Event) {
+        self.buf.push_str(&ev.to_json());
+        self.buf.push('\n');
+        self.written += 1;
+    }
+}
+
 /// Fans one event stream out to two sinks (e.g. JSONL file + counters).
 pub struct TeeSink<'a> {
     /// First sink.
@@ -314,6 +357,30 @@ mod tests {
         let text = std::fs::read_to_string(&path).unwrap();
         let back: Vec<Event> = text.lines().map(|l| Event::from_json(l).unwrap()).collect();
         assert_eq!(back, events);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn buf_sink_matches_file_sink_bytes() {
+        let path = std::env::temp_dir().join("nvp_trace_bufsink_test.jsonl");
+        let events = vec![
+            Event::RunStart {
+                tick: 0,
+                label: "t".into(),
+            },
+            ev(3),
+        ];
+        let mut file_sink = JsonlSink::create(&path).unwrap();
+        let mut buf_sink = JsonlBufSink::new();
+        for e in &events {
+            file_sink.record(e);
+            buf_sink.record(e);
+        }
+        file_sink.finish().unwrap();
+        let from_file = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(buf_sink.written(), 2);
+        assert_eq!(buf_sink.as_str(), from_file);
+        assert_eq!(buf_sink.into_string(), from_file);
         std::fs::remove_file(&path).ok();
     }
 
