@@ -37,5 +37,7 @@
 #![warn(missing_docs)]
 
 mod pool;
+mod service;
 
 pub use pool::{available_parallelism, JobSet, Pool};
+pub use service::{QueueFull, ServicePool};

@@ -64,9 +64,11 @@ impl<'env, T: Send> JobSet<'env, T> {
     ///
     /// # Panics
     ///
-    /// If a job panics, the sweep is aborted (queued jobs are dropped
-    /// unrun) and one panic payload is re-raised here after all workers
-    /// have stopped.
+    /// If a job panics, the sweep is aborted: workers stop pulling new
+    /// jobs, every queued-but-unstarted job is cancelled (dropped in
+    /// submission order, so cancellation side effects are deterministic),
+    /// and one panic payload is re-raised here after all workers have
+    /// stopped.
     pub fn run(self, workers: usize) -> Vec<T> {
         let n = workers.min(self.jobs.len());
         if n <= 1 {
@@ -100,6 +102,26 @@ fn run_stealing<'env, T: Send>(jobs: Vec<Job<'env, T>>, n: usize) -> Vec<T> {
     });
 
     if let Some(payload) = panic_box.lock().expect("panic box lock").take() {
+        // Cancel queued-but-unstarted jobs deterministically: collect the
+        // survivors from every deque, order them by submission index, and
+        // drop them one by one. Without this, jobs would die in deque-then
+        // -position order — a function of how the round-robin deal and the
+        // steals interleaved — and any cancellation side effect (a Drop
+        // impl releasing a resource, a test observer) would see a
+        // scheduling-dependent order.
+        let mut unstarted: Vec<(usize, Job<'env, T>)> = deques
+            .iter()
+            .flat_map(|d| {
+                d.lock()
+                    .unwrap_or_else(|poisoned| poisoned.into_inner())
+                    .drain(..)
+                    .collect::<Vec<_>>()
+            })
+            .collect();
+        unstarted.sort_by_key(|&(index, _)| index);
+        for (_, job) in unstarted {
+            drop(job);
+        }
         resume_unwind(payload);
     }
     slots
@@ -305,6 +327,67 @@ mod tests {
         // The non-panicking worker may have completed some jobs before the
         // abort landed, but never the whole set.
         assert!(ran.load(Ordering::SeqCst) < 8, "abort had no effect");
+    }
+
+    #[test]
+    fn panic_under_load_cancels_unstarted_jobs_in_order() {
+        // A worker panic must (a) prevent most queued jobs from running,
+        // (b) cancel every unstarted job exactly once, and (c) cancel them
+        // in submission order regardless of which deque they sat in.
+        use std::sync::{Arc, Mutex as StdMutex};
+
+        struct Probe {
+            index: usize,
+            ran: Arc<AtomicBool>,
+            cancelled: Arc<StdMutex<Vec<usize>>>,
+        }
+        impl Drop for Probe {
+            fn drop(&mut self) {
+                if !self.ran.load(Ordering::SeqCst) {
+                    self.cancelled.lock().unwrap().push(self.index);
+                }
+            }
+        }
+
+        const JOBS: usize = 64;
+        let cancelled = Arc::new(StdMutex::new(Vec::new()));
+        let ran_flags: Vec<Arc<AtomicBool>> = (0..JOBS)
+            .map(|_| Arc::new(AtomicBool::new(false)))
+            .collect();
+        let mut set = JobSet::new();
+        for (i, ran) in ran_flags.iter().enumerate() {
+            let probe = Probe {
+                index: i,
+                ran: ran.clone(),
+                cancelled: cancelled.clone(),
+            };
+            set.push(move || {
+                probe.ran.store(true, Ordering::SeqCst);
+                if probe.index == 3 {
+                    panic!("worker down");
+                }
+                // Keep the other workers busy so plenty of jobs are still
+                // queued when the panic lands.
+                std::thread::sleep(std::time::Duration::from_millis(2));
+            });
+        }
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| set.run(4)));
+        assert!(result.is_err(), "panic must propagate");
+
+        let cancelled = cancelled.lock().unwrap().clone();
+        assert!(!cancelled.is_empty(), "no queued jobs were cancelled");
+        let mut sorted = cancelled.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(cancelled, sorted, "cancellation order not deterministic");
+        // Every job either ran or was cancelled, never both or neither.
+        for (i, ran) in ran_flags.iter().enumerate() {
+            assert_ne!(
+                ran.load(Ordering::SeqCst),
+                cancelled.contains(&i),
+                "job {i} neither ran nor was cancelled (or both)"
+            );
+        }
     }
 
     #[test]

@@ -28,15 +28,16 @@ pub use visual::images;
 
 use crate::sweep::{capture_active, capture_append};
 use crate::{dims, Scale, Table};
-use nvp_kernels::{KernelId, KernelSpec};
+use nvp_kernels::KernelId;
 use nvp_power::synth::WatchProfile;
 use nvp_power::PowerProfile;
 use nvp_sim::{ExecMode, RunReport, SystemConfig, SystemSim};
 use nvp_trace::{Event, JsonlBufSink, Tracer};
-use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
-use std::sync::{Arc, Mutex, OnceLock};
+use std::sync::Mutex;
+
+pub(crate) use crate::catalog::{cached_spec, synth_profile, Frames};
 
 /// Where experiment runs append their JSONL event traces, if anywhere.
 /// Set once by the CLI's `--trace` flag before experiments run.
@@ -108,55 +109,10 @@ fn run_maybe_traced(sim: SystemSim, trace: &PowerProfile, label: String) -> RunR
     report
 }
 
-/// A lazily-initialized keyed memo table shared across sweep workers.
-type Memo<K, V> = OnceLock<Mutex<HashMap<K, V>>>;
-
-/// A shared, immutable input-frame set.
-pub(crate) type Frames = Arc<Vec<Vec<i32>>>;
-
-/// Cache of built kernel specs; the contained `Program` is an `Arc`, so
-/// handing out clones shares one instruction stream across all runs.
-pub(crate) fn cached_spec(id: KernelId, w: usize, h: usize) -> KernelSpec {
-    static CACHE: Memo<(KernelId, usize, usize), KernelSpec> = OnceLock::new();
-    CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("spec cache lock")
-        .entry((id, w, h))
-        .or_insert_with(|| id.spec(w, h))
-        .clone()
-}
-
-/// Builds (or fetches) the cycled input-frame set for a kernel at scale,
-/// shared immutably across every simulation that uses it.
+/// Builds (or fetches) the cycled input-frame set for a kernel at scale
+/// (thin [`Scale`]-shaped wrapper over [`crate::catalog::frames_for`]).
 pub(crate) fn make_frames(id: KernelId, scale: Scale) -> Frames {
-    static CACHE: Memo<(KernelId, usize, usize), Frames> = OnceLock::new();
-    CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("frames cache lock")
-        .entry((id, scale.img, scale.frames))
-        .or_insert_with(|| {
-            let (w, h) = dims(id, scale.img);
-            Arc::new(
-                (0..scale.frames)
-                    .map(|i| id.make_input(w, h, 0xBEEF + i as u64))
-                    .collect(),
-            )
-        })
-        .clone()
-}
-
-/// Synthesizes (or fetches) a watch profile's power trace.
-pub(crate) fn synth_profile(profile: WatchProfile, seconds: f64) -> Arc<PowerProfile> {
-    static CACHE: Memo<(WatchProfile, u64), Arc<PowerProfile>> = OnceLock::new();
-    CACHE
-        .get_or_init(|| Mutex::new(HashMap::new()))
-        .lock()
-        .expect("profile cache lock")
-        .entry((profile, seconds.to_bits()))
-        .or_insert_with(|| Arc::new(profile.synthesize_seconds(seconds)))
-        .clone()
+    crate::catalog::frames_for(id, scale.img, scale.frames)
 }
 
 /// Runs one kernel/mode/policy combination over a watch profile.

@@ -1,0 +1,333 @@
+//! Content-addressed result cache with request coalescing.
+//!
+//! The cache maps canonical [`SimKey`](crate::key::SimKey) strings to
+//! fully rendered response bodies (`Arc<Vec<u8>>`): a hit re-serves the
+//! exact bytes the first computation produced, which is what makes the
+//! byte-identity guarantee in DESIGN.md §10 checkable from outside.
+//!
+//! Three concerns live here:
+//!
+//! * **Sharding** — keys are FNV-1a hashed onto a fixed set of shards so
+//!   concurrent clients on different keys do not serialize on one mutex.
+//! * **Single-flight** — the first requester of a missing key becomes the
+//!   *leader* (gets a [`LeaderToken`]); every concurrent requester of the
+//!   same key *joins* the leader's [`Flight`] and blocks until the leader
+//!   publishes, so N simultaneous identical requests cost one simulation.
+//! * **Bounded LRU** — each shard holds at most `capacity / SHARDS`
+//!   entries; inserting into a full shard evicts the least-recently-used
+//!   entry (smallest access tick, found by scan — shards are small).
+//!
+//! The leader token completes its flight *on drop*: if the leader's job
+//! is rejected by admission control or its thread unwinds, joiners are
+//! released with an error instead of blocking forever.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+
+/// Number of independently locked shards (power of two).
+const SHARDS: usize = 8;
+
+/// What a joiner learns when a flight completes without a value: the
+/// leader failed, and joiners should report the same failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FlightError {
+    /// The leader's job was refused by admission control.
+    Rejected,
+    /// The leader's worker panicked or dropped the token without publishing.
+    Failed,
+}
+
+/// One in-progress computation that concurrent requesters wait on.
+#[derive(Debug)]
+pub struct Flight {
+    slot: Mutex<Option<Result<Arc<Vec<u8>>, FlightError>>>,
+    done: Condvar,
+}
+
+impl Flight {
+    fn new() -> Arc<Flight> {
+        Arc::new(Flight {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+        })
+    }
+
+    /// Blocks until the leader publishes, then returns its outcome.
+    pub fn wait(&self) -> Result<Arc<Vec<u8>>, FlightError> {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        while slot.is_none() {
+            slot = self.done.wait(slot).unwrap_or_else(|p| p.into_inner());
+        }
+        slot.clone().expect("flight slot checked non-empty")
+    }
+
+    fn publish(&self, outcome: Result<Arc<Vec<u8>>, FlightError>) {
+        let mut slot = self.slot.lock().unwrap_or_else(|p| p.into_inner());
+        if slot.is_none() {
+            *slot = Some(outcome);
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Leadership of one cache fill. Exactly one exists per in-flight key.
+///
+/// Call [`complete`](LeaderToken::complete) with the rendered body to
+/// publish it to the cache and release joiners. If the token is dropped
+/// without completing (admission rejection, worker panic), joiners are
+/// released with [`FlightError`] instead — nobody waits on a dead leader.
+#[derive(Debug)]
+pub struct LeaderToken {
+    cache: Arc<ResultCache>,
+    key: String,
+    flight: Arc<Flight>,
+    verdict: Option<FlightError>,
+    finished: bool,
+}
+
+impl LeaderToken {
+    /// Publishes the computed body: inserts it into the cache (evicting
+    /// LRU if the shard is full) and wakes every joiner with the value.
+    pub fn complete(mut self, body: Arc<Vec<u8>>) {
+        self.finished = true;
+        self.cache.insert(&self.key, Arc::clone(&body));
+        self.flight.publish(Ok(body));
+    }
+
+    /// Marks the failure joiners should observe if this token dies
+    /// without completing (default: [`FlightError::Failed`]).
+    pub fn fail_with(&mut self, err: FlightError) {
+        self.verdict = Some(err);
+    }
+
+    /// The flight this token leads. The leader's own thread waits on
+    /// this after handing the token to a worker, exactly like a joiner.
+    pub fn flight(&self) -> Arc<Flight> {
+        Arc::clone(&self.flight)
+    }
+}
+
+impl Drop for LeaderToken {
+    fn drop(&mut self) {
+        if !self.finished {
+            let err = self.verdict.clone().unwrap_or(FlightError::Failed);
+            self.cache.abandon(&self.key);
+            self.flight.publish(Err(err));
+        }
+    }
+}
+
+/// Outcome of a cache lookup.
+#[derive(Debug)]
+pub enum Lookup {
+    /// The body is cached; serve it directly.
+    Hit(Arc<Vec<u8>>),
+    /// Nobody is computing this key: the caller is now the leader and
+    /// must either `complete` the token or drop it.
+    Miss(LeaderToken),
+    /// Another request is already computing this key; `wait` on the
+    /// flight for the leader's bytes.
+    Join(Arc<Flight>),
+}
+
+#[derive(Default)]
+struct Shard {
+    entries: HashMap<String, Entry>,
+    inflight: HashMap<String, Arc<Flight>>,
+}
+
+struct Entry {
+    body: Arc<Vec<u8>>,
+    /// Last-access tick; smallest tick is the eviction victim.
+    tick: u64,
+}
+
+/// The sharded, single-flight, LRU-bounded body cache.
+pub struct ResultCache {
+    shards: Vec<Mutex<Shard>>,
+    per_shard: usize,
+    clock: std::sync::atomic::AtomicU64,
+}
+
+impl std::fmt::Debug for ResultCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ResultCache")
+            .field("capacity", &(self.per_shard * SHARDS))
+            .field("len", &self.len())
+            .finish()
+    }
+}
+
+/// FNV-1a, the same construction the trace subsystem uses for stable
+/// hashing — no dependency on `RandomState` iteration order.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+impl ResultCache {
+    /// A cache holding at most `capacity` bodies total (rounded up to a
+    /// multiple of the shard count, minimum one entry per shard).
+    pub fn new(capacity: usize) -> Arc<ResultCache> {
+        let per_shard = capacity.div_ceil(SHARDS).max(1);
+        Arc::new(ResultCache {
+            shards: (0..SHARDS).map(|_| Mutex::new(Shard::default())).collect(),
+            per_shard,
+            clock: std::sync::atomic::AtomicU64::new(0),
+        })
+    }
+
+    fn shard(&self, key: &str) -> MutexGuard<'_, Shard> {
+        let idx = (fnv1a(key.as_bytes()) as usize) & (SHARDS - 1);
+        self.shards[idx].lock().unwrap_or_else(|p| p.into_inner())
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock
+            .fetch_add(1, std::sync::atomic::Ordering::Relaxed)
+    }
+
+    /// Looks up `key`, claiming leadership of the fill on a miss.
+    pub fn lookup(self: &Arc<Self>, key: &str) -> Lookup {
+        let tick = self.tick();
+        let mut shard = self.shard(key);
+        if let Some(entry) = shard.entries.get_mut(key) {
+            entry.tick = tick;
+            return Lookup::Hit(Arc::clone(&entry.body));
+        }
+        if let Some(flight) = shard.inflight.get(key) {
+            return Lookup::Join(Arc::clone(flight));
+        }
+        let flight = Flight::new();
+        shard.inflight.insert(key.to_string(), Arc::clone(&flight));
+        Lookup::Miss(LeaderToken {
+            cache: Arc::clone(self),
+            key: key.to_string(),
+            flight,
+            verdict: None,
+            finished: false,
+        })
+    }
+
+    /// Number of cached bodies across all shards (for `/metrics`).
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|p| p.into_inner()).entries.len())
+            .sum()
+    }
+
+    /// True when no bodies are cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn insert(&self, key: &str, body: Arc<Vec<u8>>) {
+        let tick = self.tick();
+        let mut shard = self.shard(key);
+        shard.inflight.remove(key);
+        if shard.entries.len() >= self.per_shard && !shard.entries.contains_key(key) {
+            if let Some(victim) = shard
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.tick)
+                .map(|(k, _)| k.clone())
+            {
+                shard.entries.remove(&victim);
+            }
+        }
+        shard.entries.insert(key.to_string(), Entry { body, tick });
+    }
+
+    fn abandon(&self, key: &str) {
+        self.shard(key).inflight.remove(key);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    fn body(text: &str) -> Arc<Vec<u8>> {
+        Arc::new(text.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn miss_then_hit_returns_same_bytes() {
+        let cache = ResultCache::new(16);
+        let Lookup::Miss(token) = cache.lookup("k1") else {
+            panic!("expected miss");
+        };
+        token.complete(body("payload"));
+        let Lookup::Hit(hit) = cache.lookup("k1") else {
+            panic!("expected hit");
+        };
+        assert_eq!(&**hit, b"payload");
+    }
+
+    #[test]
+    fn joiners_receive_the_leaders_bytes() {
+        let cache = ResultCache::new(16);
+        let Lookup::Miss(token) = cache.lookup("k") else {
+            panic!("expected miss");
+        };
+        let mut joiners = Vec::new();
+        for _ in 0..4 {
+            let Lookup::Join(flight) = cache.lookup("k") else {
+                panic!("expected join while flight open");
+            };
+            joiners.push(thread::spawn(move || flight.wait()));
+        }
+        token.complete(body("once"));
+        for j in joiners {
+            assert_eq!(&**j.join().unwrap().unwrap(), b"once");
+        }
+    }
+
+    #[test]
+    fn dropped_leader_releases_joiners_with_error() {
+        let cache = ResultCache::new(16);
+        let Lookup::Miss(mut token) = cache.lookup("k") else {
+            panic!("expected miss");
+        };
+        let Lookup::Join(flight) = cache.lookup("k") else {
+            panic!("expected join");
+        };
+        token.fail_with(FlightError::Rejected);
+        drop(token);
+        assert_eq!(flight.wait().unwrap_err(), FlightError::Rejected);
+        // The key is fillable again afterwards.
+        assert!(matches!(cache.lookup("k"), Lookup::Miss(_)));
+    }
+
+    #[test]
+    fn eviction_removes_least_recently_used() {
+        // Single-entry-per-shard cache: any two keys in one shard compete.
+        let cache = ResultCache::new(1);
+        // Find three keys in the same shard.
+        let mut keys = Vec::new();
+        for i in 0.. {
+            let k = format!("key{i}");
+            if (fnv1a(k.as_bytes()) as usize) & (SHARDS - 1) == 0 {
+                keys.push(k);
+                if keys.len() == 3 {
+                    break;
+                }
+            }
+        }
+        let fill = |k: &str, v: &str| {
+            let Lookup::Miss(t) = cache.lookup(k) else {
+                panic!("expected miss for {k}");
+            };
+            t.complete(body(v));
+        };
+        fill(&keys[0], "a");
+        fill(&keys[1], "b"); // evicts keys[0] (shard holds one entry)
+        assert!(matches!(cache.lookup(&keys[0]), Lookup::Miss(_)));
+    }
+}

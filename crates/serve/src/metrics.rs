@@ -1,0 +1,247 @@
+//! Service-level metrics: request counters, a latency histogram, and a
+//! process-wide fold of every served run's [`TraceSummary`].
+//!
+//! Counters are plain relaxed atomics — `/metrics` is a monitoring
+//! endpoint, not a ledger, and torn cross-counter reads are acceptable.
+//! Latency lands in a log2-microsecond histogram, from which p50/p99 are
+//! estimated as bucket upper bounds (an overestimate of at most 2×,
+//! which is the honest resolution of a log2 histogram).
+//!
+//! Every simulation the service executes runs under a per-run
+//! `CounterSink`; the resulting [`TraceSummary`] is merged here under a
+//! mutex so `/metrics` can report simulator-level totals (backups,
+//! restores, energy ledger) alongside HTTP-level ones.
+
+use nvp_trace::TraceSummary;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Number of log2 latency buckets: bucket `i` holds durations in
+/// `[2^i, 2^(i+1))` microseconds; the last bucket is open-ended.
+const LAT_BUCKETS: usize = 32;
+
+/// A log2-bucketed latency histogram over microseconds.
+#[derive(Debug)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; LAT_BUCKETS],
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for LatencyHistogram {
+    fn default() -> Self {
+        LatencyHistogram {
+            buckets: std::array::from_fn(|_| AtomicU64::new(0)),
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+}
+
+impl LatencyHistogram {
+    /// Records one observation.
+    pub fn record_us(&self, us: u64) {
+        let idx = (64 - us.max(1).leading_zeros() as usize - 1).min(LAT_BUCKETS - 1);
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// The upper bound of the bucket containing quantile `q` (0..=1), in
+    /// microseconds. `None` when empty.
+    pub fn quantile_us(&self, q: f64) -> Option<u64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let rank = ((q * total as f64).ceil() as u64).clamp(1, total);
+        let mut seen = 0;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            seen += bucket.load(Ordering::Relaxed);
+            if seen >= rank {
+                return Some(1u64 << (i + 1).min(63));
+            }
+        }
+        Some(u64::MAX)
+    }
+
+    /// Mean latency in microseconds (0 when empty).
+    pub fn mean_us(&self) -> f64 {
+        let count = self.count();
+        if count == 0 {
+            return 0.0;
+        }
+        self.sum_us.load(Ordering::Relaxed) as f64 / count as f64
+    }
+}
+
+/// All counters the service exports on `/metrics`.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Total HTTP requests accepted for parsing.
+    pub requests: AtomicU64,
+    /// Responses by coarse class.
+    pub ok: AtomicU64,
+    /// 400s: malformed JSON or invalid fields.
+    pub bad_request: AtomicU64,
+    /// 404s: unknown route.
+    pub not_found: AtomicU64,
+    /// 413s: body over the configured limit.
+    pub too_large: AtomicU64,
+    /// 429s: admission-control rejections (queue full).
+    pub rejected: AtomicU64,
+    /// 408s: slow clients cut off by the read deadline.
+    pub timeouts: AtomicU64,
+    /// 500s: worker failures.
+    pub failures: AtomicU64,
+    /// 503s: connection cap or shutting down.
+    pub unavailable: AtomicU64,
+    /// Result-cache hits (body served from cache).
+    pub cache_hits: AtomicU64,
+    /// Result-cache misses (a simulation was scheduled).
+    pub cache_misses: AtomicU64,
+    /// Requests that coalesced onto another request's in-flight simulation.
+    pub coalesced: AtomicU64,
+    /// Simulations actually executed by the pool.
+    pub simulations: AtomicU64,
+    /// End-to-end latency of `/v1/run` requests.
+    pub run_latency: LatencyHistogram,
+    /// Folded trace summaries of every simulation served.
+    pub sim_totals: Mutex<TraceSummary>,
+}
+
+/// Bumps a counter by one.
+pub fn bump(counter: &AtomicU64) {
+    counter.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Reads a counter.
+pub fn read(counter: &AtomicU64) -> u64 {
+    counter.load(Ordering::Relaxed)
+}
+
+impl Metrics {
+    /// Merges one simulation's trace summary into the process totals.
+    pub fn absorb_summary(&self, summary: &TraceSummary) {
+        self.sim_totals
+            .lock()
+            .unwrap_or_else(|p| p.into_inner())
+            .merge(summary);
+    }
+
+    /// Renders the plain-text exposition body served on `/metrics`.
+    /// One `name value` pair per line, Prometheus-style but without
+    /// type annotations (the service is dependency-free, not scrapeable
+    /// by contract).
+    pub fn render(&self, queue_depth: usize, cache_len: usize) -> String {
+        let mut out = String::with_capacity(1024);
+        let mut line = |name: &str, value: String| {
+            out.push_str(name);
+            out.push(' ');
+            out.push_str(&value);
+            out.push('\n');
+        };
+        for (name, counter) in [
+            ("nvp_requests_total", &self.requests),
+            ("nvp_responses_ok_total", &self.ok),
+            ("nvp_responses_bad_request_total", &self.bad_request),
+            ("nvp_responses_not_found_total", &self.not_found),
+            ("nvp_responses_too_large_total", &self.too_large),
+            ("nvp_responses_rejected_total", &self.rejected),
+            ("nvp_responses_timeout_total", &self.timeouts),
+            ("nvp_responses_failure_total", &self.failures),
+            ("nvp_responses_unavailable_total", &self.unavailable),
+            ("nvp_cache_hits_total", &self.cache_hits),
+            ("nvp_cache_misses_total", &self.cache_misses),
+            ("nvp_coalesced_total", &self.coalesced),
+            ("nvp_simulations_total", &self.simulations),
+        ] {
+            line(name, read(counter).to_string());
+        }
+        line("nvp_queue_depth", queue_depth.to_string());
+        line("nvp_cache_entries", cache_len.to_string());
+        line(
+            "nvp_run_latency_count",
+            self.run_latency.count().to_string(),
+        );
+        line(
+            "nvp_run_latency_mean_us",
+            format!("{:.1}", self.run_latency.mean_us()),
+        );
+        line(
+            "nvp_run_latency_p50_us",
+            self.run_latency.quantile_us(0.50).unwrap_or(0).to_string(),
+        );
+        line(
+            "nvp_run_latency_p99_us",
+            self.run_latency.quantile_us(0.99).unwrap_or(0).to_string(),
+        );
+        {
+            let totals = self.sim_totals.lock().unwrap_or_else(|p| p.into_inner());
+            line("nvp_sim_events_total", totals.total().to_string());
+            line("nvp_sim_runs_total", totals.runs.len().to_string());
+            line(
+                "nvp_sim_retention_failures_total",
+                totals.retention_failures.to_string(),
+            );
+            line(
+                "nvp_sim_energy_income_nj",
+                format!("{:.3}", totals.ledger.income_nj),
+            );
+            line(
+                "nvp_sim_energy_compute_nj",
+                format!("{:.3}", totals.ledger.compute_nj),
+            );
+            line(
+                "nvp_sim_energy_backup_nj",
+                format!("{:.3}", totals.ledger.backup_nj),
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quantiles_track_bucket_upper_bounds() {
+        let hist = LatencyHistogram::default();
+        for _ in 0..99 {
+            hist.record_us(100); // bucket [64,128)
+        }
+        hist.record_us(1_000_000); // one outlier
+        assert_eq!(hist.quantile_us(0.50), Some(128));
+        assert_eq!(hist.count(), 100);
+        // p99 still lands in the common bucket; p100 would catch the outlier.
+        assert_eq!(hist.quantile_us(0.99), Some(128));
+        assert!(hist.quantile_us(1.0).unwrap() > 1_000_000);
+    }
+
+    #[test]
+    fn zero_latency_is_recorded_not_panicked() {
+        let hist = LatencyHistogram::default();
+        hist.record_us(0);
+        assert_eq!(hist.count(), 1);
+        assert_eq!(hist.quantile_us(0.5), Some(2));
+    }
+
+    #[test]
+    fn render_contains_every_counter() {
+        let m = Metrics::default();
+        bump(&m.requests);
+        bump(&m.cache_hits);
+        let text = m.render(3, 7);
+        assert!(text.contains("nvp_requests_total 1\n"));
+        assert!(text.contains("nvp_cache_hits_total 1\n"));
+        assert!(text.contains("nvp_queue_depth 3\n"));
+        assert!(text.contains("nvp_cache_entries 7\n"));
+        assert!(text.contains("nvp_sim_events_total 0\n"));
+    }
+}

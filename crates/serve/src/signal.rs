@@ -1,0 +1,77 @@
+//! SIGTERM handling without a signals crate.
+//!
+//! The only async-signal-safe thing the handler does is store into an
+//! `AtomicBool`; the accept loop polls that flag between accepts. On
+//! non-Unix targets installation is a no-op and shutdown is reachable
+//! only through `POST /shutdown` — which is also how the tests exercise
+//! the drain path, so the signal wiring itself stays a thin adapter.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// True once a shutdown has been requested by signal or endpoint.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Requests shutdown from inside the process (`POST /shutdown`, tests).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+/// Clears the flag so a subsequent in-process server can run (tests
+/// start several servers in one process).
+pub fn reset() {
+    SHUTDOWN.store(false, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod unix {
+    use super::SHUTDOWN;
+    use std::sync::atomic::Ordering;
+
+    const SIGTERM: i32 = 15;
+    const SIGINT: i32 = 2;
+
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        // SAFETY: `signal(2)` with a handler that only stores into an
+        // atomic is async-signal-safe; we never inspect the return value
+        // because failure just leaves the default disposition in place.
+        unsafe {
+            signal(SIGTERM, on_signal);
+            signal(SIGINT, on_signal);
+        }
+    }
+}
+
+/// Installs SIGTERM/SIGINT handlers that trip the shutdown flag.
+/// No-op on non-Unix targets.
+pub fn install() {
+    #[cfg(unix)]
+    unix::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_and_reset_roundtrip() {
+        reset();
+        assert!(!shutdown_requested());
+        request_shutdown();
+        assert!(shutdown_requested());
+        reset();
+        assert!(!shutdown_requested());
+    }
+}

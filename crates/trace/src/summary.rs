@@ -170,6 +170,20 @@ impl Histogram {
         (self.count > 0).then_some(self.max)
     }
 
+    /// Folds another histogram into this one (bin-wise sum; min/max/mean
+    /// combine as if every sample had been recorded here).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
     /// Renders non-empty bins as `[lo,hi): count` lines with a bar chart.
     pub fn render(&self, indent: &str) -> String {
         let mut out = String::new();
@@ -333,6 +347,32 @@ impl TraceSummary {
                 forward_progress: *forward_progress,
             });
         }
+    }
+
+    /// Folds another summary into this one, as if its events had been
+    /// observed here after ours.
+    ///
+    /// This is the aggregation step for services: each served run records
+    /// into its own `CounterSink`, and the per-run summaries are merged
+    /// into one process-wide view (the `nvp-serve` `/metrics` endpoint).
+    /// The inter-backup histogram never bridges the seam between the two
+    /// summaries — the interval from our last backup to the other's first
+    /// belongs to neither run.
+    pub fn merge(&mut self, other: &TraceSummary) {
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs;
+        }
+        let o = &other.ledger;
+        self.ledger.income_nj += o.income_nj;
+        self.ledger.compute_nj += o.compute_nj;
+        self.ledger.backup_nj += o.backup_nj;
+        self.ledger.restore_nj += o.restore_nj;
+        self.ledger.saved_nj += o.saved_nj;
+        self.inter_backup.merge(&other.inter_backup);
+        self.outage_duration.merge(&other.outage_duration);
+        self.runs.extend(other.runs.iter().cloned());
+        self.retention_failures += other.retention_failures;
+        self.last_backup_tick = other.last_backup_tick;
     }
 
     /// Count of one event kind.
@@ -523,6 +563,72 @@ mod tests {
         }
         // Inter-backup gaps never span a run boundary.
         assert_eq!(s.inter_backup.count(), 0);
+    }
+
+    #[test]
+    fn merge_equals_sequential_observation() {
+        // Observing one run per summary and merging must agree with
+        // observing both runs into a single summary.
+        let run = |label: &str, t0: u64| {
+            vec![
+                Event::RunStart {
+                    tick: t0,
+                    label: label.into(),
+                },
+                backup(t0 + 100, 10.0),
+                backup(t0 + 160, 12.0),
+                Event::OutageEnd {
+                    tick: t0 + 200,
+                    duration: 40,
+                },
+                Event::RetentionDecay {
+                    tick: t0 + 200,
+                    bit: 0,
+                    failures: 3,
+                },
+            ]
+        };
+        let (ra, rb) = (run("a", 0), run("b", 1000));
+        let mut merged = TraceSummary::new();
+        let mut part_b = TraceSummary::new();
+        let mut whole = TraceSummary::new();
+        for ev in &ra {
+            merged.observe(ev);
+            whole.observe(ev);
+        }
+        for ev in &rb {
+            part_b.observe(ev);
+            whole.observe(ev);
+        }
+        merged.merge(&part_b);
+        assert_eq!(merged.total(), whole.total());
+        assert_eq!(merged.ledger, whole.ledger);
+        assert_eq!(merged.outage_duration, whole.outage_duration);
+        assert_eq!(merged.retention_failures, whole.retention_failures);
+        assert_eq!(merged.runs, whole.runs);
+        assert_eq!(merged.count(EventKind::Backup), 4);
+        // One intra-run interval per run; neither path counts a cross-run
+        // seam (RunStart resets the interval clock).
+        assert_eq!(merged.inter_backup, whole.inter_backup);
+        assert_eq!(merged.inter_backup.count(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_combines_extremes() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(4);
+        b.record(1);
+        b.record(1000);
+        a.merge(&b);
+        assert_eq!(a.count(), 3);
+        assert_eq!(a.min(), Some(1));
+        assert_eq!(a.max(), Some(1000));
+        assert!((a.mean() - 335.0).abs() < 1e-9);
+        let empty = Histogram::new();
+        let before = a.clone();
+        a.merge(&empty);
+        assert_eq!(a, before, "merging an empty histogram is a no-op");
     }
 
     #[test]
