@@ -6,12 +6,20 @@
 //! safe-bits report mode: per-kernel statically proven bitwidth floors,
 //! the per-basic-block safe-bits table, and the worst-case output error
 //! per governor setting (exits non-zero only on error-level bitwidth
-//! diagnostics).
+//! diagnostics). Pass `--energy` for the WCEC certification mode:
+//! per-kernel, per-region worst-case energy certificates across the
+//! declared governor range, judged against the platform capacitor budget
+//! (exits non-zero only on error-level energy diagnostics, i.e. provable
+//! livelock). `--json PATH` additionally writes the full certificate set
+//! as a JSON artifact (energy mode only).
 
+use nvp_analysis::diag::render_legend;
 use nvp_analysis::{
-    analyze_program, bitwidth_report, AnalysisConfig, Cfg, DeclaredBits, Severity, NEVER_SAFE,
+    analyze_program, analyze_with, bitwidth_report, AnalysisConfig, Cfg, DeclaredBits, LintCode,
+    Pass, PassContext, Severity, Wcec, WcecPass, NEVER_SAFE,
 };
 use nvp_kernels::KernelId;
+use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn kernel_config(id: KernelId, mem_words: usize) -> AnalysisConfig {
@@ -23,26 +31,52 @@ fn kernel_config(id: KernelId, mem_words: usize) -> AnalysisConfig {
     }
 }
 
+const USAGE: &str = "usage: nvp-lint [-v|--verbose] [--bitwidth] [--energy] [--json PATH]";
+
 fn main() -> ExitCode {
     let mut verbose = false;
     let mut bitwidth = false;
-    for arg in std::env::args().skip(1) {
+    let mut energy = false;
+    let mut json_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
         match arg.as_str() {
             "-v" | "--verbose" => verbose = true,
             "--bitwidth" => bitwidth = true,
+            "--energy" => energy = true,
+            "--json" => match args.next() {
+                Some(p) => json_path = Some(p),
+                None => {
+                    eprintln!("nvp-lint: --json requires a path");
+                    eprintln!("{USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "-h" | "--help" => {
-                println!("usage: nvp-lint [-v|--verbose] [--bitwidth]");
+                println!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => {
                 eprintln!("nvp-lint: unknown argument `{other}`");
-                eprintln!("usage: nvp-lint [-v|--verbose] [--bitwidth]");
+                eprintln!("{USAGE}");
                 return ExitCode::from(2);
             }
         }
     }
+    if json_path.is_some() && !energy {
+        eprintln!("nvp-lint: --json only applies to --energy mode");
+        eprintln!("{USAGE}");
+        return ExitCode::from(2);
+    }
+    if bitwidth && energy {
+        eprintln!("nvp-lint: pick one of --bitwidth / --energy");
+        return ExitCode::from(2);
+    }
     if bitwidth {
         return run_bitwidth_report(verbose);
+    }
+    if energy {
+        return run_energy_report(verbose, json_path.as_deref());
     }
 
     let mut total_violations = 0usize;
@@ -76,6 +110,20 @@ fn main() -> ExitCode {
         }
     }
 
+    print!(
+        "\n{}",
+        render_legend(&[
+            LintCode::BranchOnApprox,
+            LintCode::AddressFromApprox,
+            LintCode::StoreOutsideRegion,
+            LintCode::ApproxUnsafeAddressOrBranch,
+            LintCode::ExactValueOverflow,
+            LintCode::WarHazard,
+            LintCode::DeadResumeReg,
+            LintCode::OverConservativeBits,
+            LintCode::BackupLiveSet,
+        ])
+    );
     println!(
         "\n{} kernels checked, {} diagnostics, {} violations",
         KernelId::ALL.len(),
@@ -153,8 +201,210 @@ fn run_bitwidth_report(verbose: bool) -> ExitCode {
             }
         }
     }
+    print!(
+        "\n{}",
+        render_legend(&[
+            LintCode::ApproxUnsafeAddressOrBranch,
+            LintCode::ExactValueOverflow,
+            LintCode::OverConservativeBits,
+        ])
+    );
     println!(
         "\n{} kernels checked, {} error-level bitwidth diagnostics",
+        KernelId::ALL.len(),
+        errors
+    );
+    if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn fmt_wcec(w: Wcec) -> String {
+    match w {
+        Wcec::Bounded(nj) => format!("{nj:.1}"),
+        Wcec::Unbounded => "unbounded".to_string(),
+    }
+}
+
+fn json_wcec(w: Wcec) -> String {
+    match w {
+        Wcec::Bounded(nj) => format!("{nj}"),
+        Wcec::Unbounded => "null".to_string(),
+    }
+}
+
+/// The `--energy` report: per-kernel, per-region WCEC certificates across
+/// the declared governor range, plus the forward-progress lints.
+fn run_energy_report(verbose: bool, json_path: Option<&str>) -> ExitCode {
+    let pass = WcecPass::default();
+    let mut errors = 0usize;
+    let mut json = String::new();
+    let _ = writeln!(json, "{{");
+    let _ = writeln!(json, "  \"generated_by\": \"nvp-lint --energy\",");
+    let _ = writeln!(
+        json,
+        "  \"budget\": {{\"capacity_nj\": {}, \"reserve_safety\": {}, \"backup_policy\": \"{:?}\"}},",
+        pass.budget.capacity_nj, pass.budget.reserve_safety, pass.budget.backup_policy
+    );
+    let _ = writeln!(json, "  \"kernels\": [");
+
+    for (ki, id) in KernelId::ALL.into_iter().enumerate() {
+        let (w, h) = id.min_dims();
+        let spec = id.spec(w, h);
+        let cfg = Cfg::build(&spec.program);
+        let config = kernel_config(id, spec.mem_words);
+        let cx = PassContext {
+            program: &spec.program,
+            cfg: &cfg,
+            config: &config,
+        };
+        let certs = pass.certificates(&cx);
+        let (minbits, maxbits) = id.declared_bits();
+        let floor = certs.first().expect("declared range is non-empty");
+        let ceil = certs.last().expect("declared range is non-empty");
+        println!(
+            "{:<16} {}x{:<3} declared {}..={}  program WCEC {}@{}b {}@{}b nJ",
+            id.name(),
+            w,
+            h,
+            minbits,
+            maxbits,
+            fmt_wcec(floor.program),
+            floor.bits,
+            fmt_wcec(ceil.program),
+            ceil.bits,
+        );
+        println!(
+            "    region        start  pcs   WCEC@{}b   WCEC@{}b   min@{}b  (nJ)",
+            floor.bits, ceil.bits, floor.bits
+        );
+        for (ri, region) in floor.regions.iter().enumerate() {
+            println!(
+                "    {:<12} {:>6} {:>4}  {:>9}  {:>9}  {:>8.1}",
+                region.kind.to_string(),
+                region.start_pc,
+                region.pcs.len(),
+                fmt_wcec(region.wcec),
+                fmt_wcec(ceil.regions[ri].wcec),
+                region.min_nj,
+            );
+        }
+        let bounded = floor
+            .loops
+            .loops
+            .iter()
+            .filter(|l| l.bound.is_bounded())
+            .count();
+        println!(
+            "    loops: {} found, {} bounded at {}b; usable budget {:.1} nJ at {}b",
+            floor.loops.loops.len(),
+            bounded,
+            floor.bits,
+            pass.budget.usable_nj(floor.bits),
+            floor.bits,
+        );
+
+        // Lints: E006 gates the exit; W004/I002 inform.
+        let report = analyze_with(
+            &spec.program,
+            &config,
+            &[Box::new(WcecPass::default()) as Box<dyn Pass>],
+        );
+        errors += report.count_at_least(Severity::Error);
+        for d in &report.diagnostics {
+            if verbose || d.severity() >= Severity::Warning {
+                for line in d.to_string().lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+
+        // JSON artifact entry.
+        let comma = if ki + 1 < KernelId::ALL.len() {
+            ","
+        } else {
+            ""
+        };
+        let _ = writeln!(
+            json,
+            "    {{\"kernel\": \"{}\", \"width\": {w}, \"height\": {h}, \"declared\": [{minbits}, {maxbits}],",
+            id.name()
+        );
+        let _ = writeln!(
+            json,
+            "     \"errors\": {}, \"warnings\": {},",
+            report.count_at_least(Severity::Error),
+            report.count_at_least(Severity::Warning) - report.count_at_least(Severity::Error),
+        );
+        let _ = writeln!(json, "     \"certificates\": [");
+        for (ci, cert) in certs.iter().enumerate() {
+            let regions: Vec<String> = cert
+                .regions
+                .iter()
+                .map(|r| {
+                    format!(
+                        "{{\"start_pc\": {}, \"kind\": \"{}\", \"pcs\": {}, \"wcec_nj\": {}, \"min_nj\": {}}}",
+                        r.start_pc,
+                        r.kind,
+                        r.pcs.len(),
+                        json_wcec(r.wcec),
+                        r.min_nj
+                    )
+                })
+                .collect();
+            let loops: Vec<String> = cert
+                .loops
+                .loops
+                .iter()
+                .map(|l| {
+                    let bound = match l.bound {
+                        nvp_analysis::TripBound::Bounded(n) => n.to_string(),
+                        nvp_analysis::TripBound::Unbounded => "null".to_string(),
+                    };
+                    format!(
+                        "{{\"head_pc\": {}, \"bound\": {bound}, \"min_bound\": {}, \"stride\": {}}}",
+                        l.head_pc(&cfg),
+                        l.min_bound,
+                        l.stride
+                    )
+                })
+                .collect();
+            let ccomma = if ci + 1 < certs.len() { "," } else { "" };
+            let _ = writeln!(
+                json,
+                "       {{\"bits\": {}, \"usable_nj\": {}, \"program_nj\": {}, \"regions\": [{}], \"loops\": [{}]}}{ccomma}",
+                cert.bits,
+                pass.budget.usable_nj(cert.bits),
+                json_wcec(cert.program),
+                regions.join(", "),
+                loops.join(", ")
+            );
+        }
+        let _ = writeln!(json, "     ]}}{comma}");
+    }
+    let _ = writeln!(json, "  ]");
+    let _ = writeln!(json, "}}");
+
+    if let Some(path) = json_path {
+        if let Err(e) = std::fs::write(path, &json) {
+            eprintln!("nvp-lint: cannot write {path}: {e}");
+            return ExitCode::from(2);
+        }
+        println!("\ncertificates written to {path}");
+    }
+
+    print!(
+        "\n{}",
+        render_legend(&[
+            LintCode::RegionLivelock,
+            LintCode::UnboundedLoop,
+            LintCode::WcecHeadroom,
+        ])
+    );
+    println!(
+        "\n{} kernels checked, {} error-level energy diagnostics",
         KernelId::ALL.len(),
         errors
     );

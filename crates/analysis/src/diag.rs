@@ -58,11 +58,37 @@ pub enum LintCode {
     /// `NVP-W003`: the kernel's declared minimum bitwidth is provably
     /// over-conservative — a lower floor is statically safe.
     OverConservativeBits,
+    /// `NVP-E006`: a checkpoint-to-checkpoint region's worst-case energy
+    /// exceeds the usable capacitor energy at every governor setting —
+    /// the region can provably never complete (livelock).
+    RegionLivelock,
+    /// `NVP-W004`: a loop's trip count could not be bounded, so the WCEC
+    /// certificate is unbounded along paths through it.
+    UnboundedLoop,
     /// `NVP-I001`: backup live-set report at a resume point.
     BackupLiveSet,
+    /// `NVP-I002`: WCEC headroom report — worst region energy vs. the
+    /// usable capacitor budget at the declared operating floor.
+    WcecHeadroom,
 }
 
 impl LintCode {
+    /// Every lint code, in legend order (errors, warnings, infos).
+    pub const ALL: [LintCode; 12] = [
+        LintCode::BranchOnApprox,
+        LintCode::AddressFromApprox,
+        LintCode::StoreOutsideRegion,
+        LintCode::ApproxUnsafeAddressOrBranch,
+        LintCode::ExactValueOverflow,
+        LintCode::RegionLivelock,
+        LintCode::WarHazard,
+        LintCode::DeadResumeReg,
+        LintCode::OverConservativeBits,
+        LintCode::UnboundedLoop,
+        LintCode::BackupLiveSet,
+        LintCode::WcecHeadroom,
+    ];
+
     /// The stable code string (`NVP-E001`, …).
     pub fn as_str(self) -> &'static str {
         match self {
@@ -71,10 +97,39 @@ impl LintCode {
             LintCode::StoreOutsideRegion => "NVP-E003",
             LintCode::ApproxUnsafeAddressOrBranch => "NVP-E004",
             LintCode::ExactValueOverflow => "NVP-E005",
+            LintCode::RegionLivelock => "NVP-E006",
             LintCode::WarHazard => "NVP-W001",
             LintCode::DeadResumeReg => "NVP-W002",
             LintCode::OverConservativeBits => "NVP-W003",
+            LintCode::UnboundedLoop => "NVP-W004",
             LintCode::BackupLiveSet => "NVP-I001",
+            LintCode::WcecHeadroom => "NVP-I002",
+        }
+    }
+
+    /// One-line legend description.
+    pub fn description(self) -> &'static str {
+        match self {
+            LintCode::BranchOnApprox => "branch condition reads an approximate register",
+            LintCode::AddressFromApprox => {
+                "effective address computed from an approximate register"
+            }
+            LintCode::StoreOutsideRegion => "approximate store outside the declared region",
+            LintCode::ApproxUnsafeAddressOrBranch => {
+                "control flow or addressing deviates at the declared bit floor"
+            }
+            LintCode::ExactValueOverflow => {
+                "possible exact-value wraparound reaches a branch/address"
+            }
+            LintCode::RegionLivelock => {
+                "region's cheapest traversal exceeds the capacitor at every setting"
+            }
+            LintCode::WarHazard => "non-idempotent write inside a roll-forward region",
+            LintCode::DeadResumeReg => "resume loop-variable register is never read",
+            LintCode::OverConservativeBits => "declared bit floor is provably over-conservative",
+            LintCode::UnboundedLoop => "loop trip count could not be bounded",
+            LintCode::BackupLiveSet => "backup live-set report at a resume point",
+            LintCode::WcecHeadroom => "WCEC headroom vs. the usable capacitor budget",
         }
     }
 
@@ -85,13 +140,36 @@ impl LintCode {
             | LintCode::AddressFromApprox
             | LintCode::StoreOutsideRegion
             | LintCode::ApproxUnsafeAddressOrBranch
-            | LintCode::ExactValueOverflow => Severity::Error,
-            LintCode::WarHazard | LintCode::DeadResumeReg | LintCode::OverConservativeBits => {
-                Severity::Warning
-            }
-            LintCode::BackupLiveSet => Severity::Info,
+            | LintCode::ExactValueOverflow
+            | LintCode::RegionLivelock => Severity::Error,
+            LintCode::WarHazard
+            | LintCode::DeadResumeReg
+            | LintCode::OverConservativeBits
+            | LintCode::UnboundedLoop => Severity::Warning,
+            LintCode::BackupLiveSet | LintCode::WcecHeadroom => Severity::Info,
         }
     }
+}
+
+/// Renders the shared lint-code legend for a report mode.
+///
+/// Every `nvp-lint` mode (default, `--bitwidth`, `--energy`) prints the
+/// legend for the codes it can emit through this one helper, so the
+/// formatting cannot drift between modes: one `  CODE  severity  text`
+/// line per code, in [`LintCode::ALL`] order.
+pub fn render_legend(codes: &[LintCode]) -> String {
+    let mut out = String::from("legend:\n");
+    for code in LintCode::ALL {
+        if codes.contains(&code) {
+            out.push_str(&format!(
+                "  {}  {:<7}  {}\n",
+                code.as_str(),
+                code.severity().to_string(),
+                code.description()
+            ));
+        }
+    }
+    out
 }
 
 impl fmt::Display for LintCode {
@@ -181,11 +259,36 @@ mod tests {
         assert_eq!(LintCode::ExactValueOverflow.as_str(), "NVP-E005");
         assert_eq!(LintCode::WarHazard.as_str(), "NVP-W001");
         assert_eq!(LintCode::OverConservativeBits.as_str(), "NVP-W003");
+        assert_eq!(LintCode::RegionLivelock.as_str(), "NVP-E006");
+        assert_eq!(LintCode::UnboundedLoop.as_str(), "NVP-W004");
+        assert_eq!(LintCode::WcecHeadroom.as_str(), "NVP-I002");
         assert_eq!(LintCode::ExactValueOverflow.severity(), Severity::Error);
+        assert_eq!(LintCode::RegionLivelock.severity(), Severity::Error);
         assert_eq!(LintCode::OverConservativeBits.severity(), Severity::Warning);
+        assert_eq!(LintCode::UnboundedLoop.severity(), Severity::Warning);
         assert_eq!(LintCode::BackupLiveSet.severity(), Severity::Info);
+        assert_eq!(LintCode::WcecHeadroom.severity(), Severity::Info);
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);
+    }
+
+    #[test]
+    fn all_covers_every_code_exactly_once() {
+        let mut strs: Vec<&str> = LintCode::ALL.iter().map(|c| c.as_str()).collect();
+        strs.sort_unstable();
+        strs.dedup();
+        assert_eq!(strs.len(), LintCode::ALL.len());
+    }
+
+    #[test]
+    fn legend_renders_requested_codes_in_stable_order() {
+        let s = render_legend(&[LintCode::WcecHeadroom, LintCode::RegionLivelock]);
+        let e = s.find("NVP-E006").expect("E006 in legend");
+        let i = s.find("NVP-I002").expect("I002 in legend");
+        assert!(e < i, "errors precede infos:\n{s}");
+        assert!(!s.contains("NVP-E001"));
+        assert!(s.contains("error"));
+        assert!(s.contains("cheapest traversal exceeds"), "{s}");
     }
 
     #[test]

@@ -397,4 +397,97 @@ mod tests {
         let kept = Interval::widen(&Interval::range(0, 8), &Interval::range(2, 8));
         assert_eq!(kept, Interval::range(0, 8));
     }
+
+    // Loop-counter patterns the trip-count bounder leans on: each test
+    // plays the fixpoint a loop head would see, by hand, and checks the
+    // invariant the WCEC analysis reads off at the end.
+
+    #[test]
+    fn strided_increment_widens_then_narrows_to_the_guard() {
+        // for (i = 0; i < 100; i += 5): head = join(init, backedge).
+        let init = Interval::exact(0);
+        let stride = Interval::exact(5);
+        let guard = Interval::range(i32::MIN, 99); // i < 100 (taken edge)
+        let mut head = init;
+        loop {
+            let body = head.intersect(&guard).expect("loop entered").add(&stride);
+            let next = Interval::widen(&head, &head.join(&body));
+            if next == head {
+                break;
+            }
+            head = next;
+        }
+        // Widening overshot to a ladder rung, not the tight bound.
+        assert_eq!(head.hi, 255);
+        // One narrowing sweep recovers the guard-limited invariant.
+        let narrowed = init.join(&head.intersect(&guard).unwrap().add(&stride));
+        assert_eq!(narrowed, Interval::range(0, 104));
+        assert!(!narrowed.wrapped);
+        // Every concrete counter value the loop produces is inside.
+        for v in (0..=100).step_by(5) {
+            assert!(narrowed.contains(v));
+        }
+    }
+
+    #[test]
+    fn decrement_to_zero_counter_never_goes_negative() {
+        // i = 50; do { i -= 1 } while (i != 0): the brnz-taken edge
+        // refines away the zero endpoint before the decrement.
+        let init = Interval::exact(50);
+        let one = Interval::exact(1);
+        let mut head = init;
+        loop {
+            let nonzero = if head.lo == 0 {
+                Interval {
+                    lo: 1,
+                    hi: head.hi.max(1),
+                    wrapped: head.wrapped,
+                }
+            } else {
+                head
+            };
+            let next = head.join(&nonzero.sub(&one));
+            if next == head {
+                break;
+            }
+            head = next;
+        }
+        assert_eq!(head, Interval::range(0, 50));
+        assert!(head.contains(0) && head.contains(50) && !head.contains(-1));
+    }
+
+    #[test]
+    fn widened_then_narrowed_interval_is_sound_not_exact() {
+        // Narrowing recovers precision but must stay an over-approximation:
+        // the recovered range may keep slack past the last guard test.
+        let guard = Interval::range(i32::MIN, 9); // i < 10
+        let widened = Interval::range(0, 255); // post-widening head
+        let narrowed =
+            Interval::exact(0).join(&widened.intersect(&guard).unwrap().add(&Interval::exact(3)));
+        assert_eq!(narrowed, Interval::range(0, 12));
+        // Sound: contains every reachable value (0,3,6,9,12)…
+        for v in (0..=12).step_by(3) {
+            assert!(narrowed.contains(v));
+        }
+        // …and strictly tighter than the widened state it refines.
+        assert!(narrowed.hi < widened.hi);
+    }
+
+    #[test]
+    fn wraparound_taint_is_sticky_through_counter_algebra() {
+        // A counter that may have wrapped stays wrapped through every
+        // operation a loop body applies to it — join with a clean init,
+        // guard intersection, increments, clamps.
+        let mut i = Interval::range(i32::MAX - 2, i32::MAX).add(&Interval::exact(4));
+        assert!(i.wrapped);
+        i = i.intersect(&Interval::range(0, 1000)).expect("nonempty");
+        assert!(i.wrapped, "guard intersection must not launder the wrap");
+        i = Interval::exact(0).join(&i);
+        assert!(i.wrapped, "join with a clean init must not launder");
+        i = i.add(&Interval::exact(1)).min(&Interval::exact(255));
+        assert!(i.wrapped, "arithmetic must not launder");
+        // A clean counter over the same ranges stays clean.
+        let clean = Interval::exact(0).join(&Interval::range(0, 255));
+        assert!(!clean.wrapped);
+    }
 }

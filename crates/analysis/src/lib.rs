@@ -25,7 +25,16 @@
 //!   the VM's approximation semantics;
 //! * [`safe_bits`] — statically proven safe bitwidth floors per
 //!   instruction/block/program (`NVP-E004`, `NVP-E005`, `NVP-W003`),
-//!   feeding `nvp-lint --bitwidth` and the sim's governor clamp.
+//!   feeding `nvp-lint --bitwidth` and the sim's governor clamp;
+//! * [`loop_bound`] — natural-loop discovery with trip-count bounds
+//!   derived from the interval invariants;
+//! * [`cost_model`] / [`wcec`] — static per-instruction energy pricing
+//!   (sharing the simulator's calibrated model) and whole-program
+//!   worst-case energy certificates per block, per
+//!   checkpoint-to-checkpoint region, and per program;
+//! * [`wcec_lint`] — forward-progress lints over the certificates
+//!   (`NVP-E006` provable livelock, `NVP-W004` unknown loop bound,
+//!   `NVP-I002` energy headroom), driving `nvp-lint --energy`.
 //!
 //! Passes share a [`PassContext`] and report [`Diagnostic`]s with stable
 //! lint codes. [`analyze_program`] runs the default pipeline; the
@@ -48,29 +57,37 @@
 
 pub mod backup_liveness;
 pub mod cfg;
+pub mod cost_model;
 pub mod dataflow;
 pub mod diag;
 pub mod error_bound;
 pub mod interval;
 pub mod lattice;
 pub mod liveness;
+pub mod loop_bound;
 pub mod reaching;
 pub mod safe_bits;
 pub mod taint;
 pub mod war;
+pub mod wcec;
+pub mod wcec_lint;
 
 pub use backup_liveness::{BackupLiveness, BackupLivenessPass};
 pub use cfg::Cfg;
+pub use cost_model::{CostModel, EnergyBudget};
 pub use diag::{Diagnostic, LintCode, Severity};
 pub use error_bound::{dev_bound, solve_error_bounds, AbsVal, ApproxState, ErrorBoundAnalysis};
 pub use interval::Interval;
 pub use liveness::{liveness, Liveness};
+pub use loop_bound::{find_loops, loop_report, LoopReport, NaturalLoop, TripBound};
 pub use reaching::{reaching, Reaching, ENTRY_DEF};
 pub use safe_bits::{
     bitwidth_report, static_floor, BitwidthPass, BitwidthReport, DeclaredBits, NEVER_SAFE,
 };
 pub use taint::TaintPass;
 pub use war::WarPass;
+pub use wcec::{wcec_report, Region, RegionKind, Wcec, WcecReport};
+pub use wcec_lint::WcecPass;
 
 use nvp_isa::Program;
 

@@ -1,0 +1,94 @@
+//! Cross-kernel soundness of the WCEC certificates: for every kernel
+//! generator, walk the VM to completion charging each retired instruction
+//! at the static per-class price, and check that the dynamic total sits
+//! between the proven region floor and the certified program ceiling.
+//!
+//! This is the empirical anchor for both directions of the bound. The
+//! ceiling must dominate any real run (else `NVP-I002` headroom numbers
+//! are lies); the floor must never exceed a real run (else `NVP-E006`
+//! could "prove" livelock on a program that demonstrably finishes — the
+//! exact failure mode that motivated deriving the floor separately
+//! instead of reusing the over-approximate WCEC).
+
+use nvp_analysis::{wcec_report, Cfg, CostModel, Wcec};
+use nvp_isa::vm::Vm;
+use nvp_kernels::KernelId;
+
+const STEP_CAP: u64 = 5_000_000;
+
+/// Walks `id` at its minimum dims, charging static prices at `bits`.
+/// Returns (actual_nj, halted).
+fn dynamic_cost(id: KernelId, cost: &CostModel) -> (f64, bool) {
+    let (w, h) = id.min_dims();
+    let spec = id.spec(w, h);
+    let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+    let mut actual = 0.0f64;
+    for _ in 0..STEP_CAP {
+        let Some(instr) = vm.peek() else {
+            return (actual, true);
+        };
+        actual += cost.instr_nj(instr);
+        if vm.step().expect("kernel VMs do not fault") == nvp_isa::StepEvent::Halted {
+            return (actual, true);
+        }
+    }
+    (actual, false)
+}
+
+#[test]
+fn every_kernel_run_sits_between_floor_and_ceiling() {
+    for bits in [1u8, 8] {
+        let cost = CostModel::for_bits(bits);
+        for id in KernelId::ALL {
+            let (w, h) = id.min_dims();
+            let spec = id.spec(w, h);
+            let cfg = Cfg::build(&spec.program);
+            let report = wcec_report(&spec.program, &cfg, &cost);
+            let (actual, halted) = dynamic_cost(id, &cost);
+            assert!(halted, "{} did not halt within {STEP_CAP} steps", id.name());
+            assert!(actual > 0.0, "{} charged nothing", id.name());
+
+            if let Wcec::Bounded(ceiling) = report.program {
+                assert!(
+                    ceiling >= actual - 1e-9,
+                    "{} at {bits}b: ceiling {ceiling:.1} nJ below actual {actual:.1} nJ",
+                    id.name()
+                );
+            }
+            // The entry region ends at the first checkpoint, so its floor
+            // must be under the cost of the whole run.
+            let entry = &report.regions[0];
+            assert!(
+                entry.min_nj <= actual + 1e-9,
+                "{} at {bits}b: floor {:.1} nJ above actual {actual:.1} nJ",
+                id.name(),
+                entry.min_nj
+            );
+        }
+    }
+}
+
+#[test]
+fn certificates_are_exact_for_fully_static_kernels() {
+    // Kernels whose trip counts are all compile-time constants should get
+    // a certificate with zero slack: floor == actual == ceiling. This
+    // pins the analysis against silent precision regressions.
+    let exact: &[KernelId] = &[KernelId::Sobel, KernelId::Tiff2Bw];
+    let cost = CostModel::for_bits(8);
+    for &id in exact {
+        let (w, h) = id.min_dims();
+        let spec = id.spec(w, h);
+        let cfg = Cfg::build(&spec.program);
+        let report = wcec_report(&spec.program, &cfg, &cost);
+        let (actual, halted) = dynamic_cost(id, &cost);
+        assert!(halted);
+        let Wcec::Bounded(ceiling) = report.program else {
+            panic!("{} unbounded", id.name());
+        };
+        assert!(
+            (ceiling - actual).abs() < 1e-6,
+            "{}: ceiling {ceiling:.3} vs actual {actual:.3}",
+            id.name()
+        );
+    }
+}

@@ -10,9 +10,11 @@ use nvp_bench::bench_scale;
 use nvp_exec::Pool;
 use nvp_isa::ApproxConfig;
 use nvp_kernels::KernelId;
+use nvp_power::{Power, PowerProfile, Ticks};
 use nvp_repro::dims;
 use nvp_repro::experiments as e;
-use nvp_sim::{instructions_per_frame, run_fixed};
+use nvp_sim::{instructions_per_frame, run_fixed, ExecEngine, ExecMode, SystemConfig, SystemSim};
+use std::sync::Arc;
 use std::time::Duration;
 
 fn bench_sweep_scaling(c: &mut Criterion) {
@@ -63,10 +65,54 @@ fn bench_vm_step(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_vm_block_budget(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_block_budget");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    // Same full-system run, two capacitor-check schedules: `step` pays a
+    // reserve comparison and an energy-formula evaluation (one `powf` per
+    // lane) per instruction; `block` arms whole basic blocks against their
+    // static WCEC certificates (results are identical —
+    // crates/sim/tests/block_budget.rs). Wall power keeps every tick in
+    // the VM hot loop; harvested profiles spend most ticks charging and
+    // would bury the difference.
+    let id = KernelId::Sobel;
+    let (w, h) = dims(id, 16);
+    let spec = id.spec(w, h);
+    let frames = Arc::new(vec![id.make_input(w, h, 0x51); 2]);
+    let profile = PowerProfile::constant(Power::from_uw(500.0), Ticks(20_000));
+    // Precise (8b) and fixed 4-bit datapaths: at full width the energy
+    // formula's `powf` base is 1.0 (a libm fast path), so the narrow
+    // configuration is where the per-instruction evaluation actually costs.
+    for (mode_name, mode) in [
+        ("precise", ExecMode::Precise),
+        ("fixed4", ExecMode::Fixed(ApproxConfig::fixed(4))),
+    ] {
+        for (name, engine) in [
+            ("step", ExecEngine::Step),
+            ("block", ExecEngine::BlockBudget),
+        ] {
+            g.bench_function(format!("{}_{mode_name}_{name}", id.name()), |b| {
+                b.iter(|| {
+                    let cfg = SystemConfig {
+                        exec_engine: engine,
+                        record_outputs: false,
+                        ..Default::default()
+                    };
+                    SystemSim::new(spec.clone(), frames.clone(), mode, cfg).run(&profile)
+                })
+            });
+        }
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_sweep_scaling,
     bench_pool_overhead,
-    bench_vm_step
+    bench_vm_step,
+    bench_vm_block_budget
 );
 criterion_main!(benches);

@@ -52,6 +52,29 @@ pub enum InstrClass {
 }
 
 impl InstrClass {
+    /// Every class, in [`index`](Self::index) order.
+    pub const ALL: [InstrClass; 6] = [
+        InstrClass::Alu,
+        InstrClass::Mul,
+        InstrClass::Mem,
+        InstrClass::Branch,
+        InstrClass::Move,
+        InstrClass::Control,
+    ];
+
+    /// Dense index of this class (position in [`ALL`](Self::ALL)), for
+    /// class-keyed tables.
+    pub fn index(self) -> usize {
+        match self {
+            InstrClass::Alu => 0,
+            InstrClass::Mul => 1,
+            InstrClass::Mem => 2,
+            InstrClass::Branch => 3,
+            InstrClass::Move => 4,
+            InstrClass::Control => 5,
+        }
+    }
+
     /// Cycle cost of this class at the core's 1 MHz clock.
     pub fn cycles(self) -> u64 {
         match self {
@@ -285,6 +308,13 @@ mod tests {
             "ld    r0, [r1-4]"
         );
         assert_eq!(Instr::MarkResume(2).to_string(), "mark_resume #2");
+    }
+
+    #[test]
+    fn class_all_agrees_with_index() {
+        for (i, c) in InstrClass::ALL.iter().enumerate() {
+            assert_eq!(c.index(), i, "{c:?}");
+        }
     }
 
     #[test]

@@ -40,6 +40,7 @@
 pub mod analysis;
 pub mod approx;
 pub mod encoding;
+pub mod energy;
 pub mod instr;
 pub mod program;
 pub mod regfile;
@@ -50,6 +51,7 @@ pub use analysis::{
 };
 pub use approx::{alu_approximate, alu_error_bound, mem_error_bound, mem_truncate, ApproxConfig};
 pub use encoding::{decode_program, encode_program, DecodeError};
+pub use energy::{ClassEnergies, EnergyModel};
 pub use instr::{Instr, InstrClass, Reg, NUM_REGS};
 pub use program::{Label, Program, ProgramBuilder, ProgramError};
 pub use regfile::RegFile;

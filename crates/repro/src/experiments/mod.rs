@@ -13,6 +13,7 @@ pub mod quality;
 pub mod racx;
 pub mod retention;
 pub mod visual;
+pub mod wcecx;
 
 pub use dynamicw::{fig18, fig19, fig20, fig21};
 pub use nvmx::{fig4, fig5};
@@ -25,6 +26,7 @@ pub use quality::{fig12, fig14, safebits};
 pub use racx::fig27;
 pub use retention::{fig22, fig24, fig25};
 pub use visual::images;
+pub use wcecx::wcec;
 
 use crate::sweep::{capture_active, capture_append};
 use crate::{dims, Scale, Table};
@@ -137,7 +139,6 @@ pub(crate) fn run_system(
 }
 
 /// Like [`run_system`] but over an explicit trace.
-#[allow(dead_code)] // kept for parity with run_system; used by downstream forks
 pub(crate) fn run_system_on(
     id: KernelId,
     scale: Scale,
@@ -170,6 +171,7 @@ pub fn all(scale: Scale) -> Vec<Table> {
     out.extend(fig12(scale));
     out.extend(fig14(scale));
     out.extend(safebits(scale));
+    out.extend(wcec(scale));
     out.extend(fig15(scale));
     out.extend(fig16(scale));
     out.extend(fig18(scale));

@@ -25,6 +25,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "safebits",
         "statically-proven safe bitwidths (nvp-lint --bitwidth)",
     ),
+    (
+        "wcec",
+        "per-region WCEC certificates and block-engine equivalence (nvp-lint --energy)",
+    ),
     ("fig15", "forward progress vs bitwidth"),
     ("fig16", "backup count vs bitwidth"),
     ("fig18", "dynamic bitwidth utilization (covers figs 17-18)"),
@@ -245,9 +249,20 @@ fn perf_report(
             serial_s / parallel_s.max(1e-9)
         ));
     }
+    // Also time the certificate-driven block execution engine against the
+    // per-instruction reference on the sweep's hot loop (sobel, precise).
+    let (step_s, block_s, bb_identical) = experiments::wcecx::block_budget_timing(scale);
+    let bb_speedup = step_s / block_s.max(1e-9);
+    all_identical &= bb_identical;
+    eprintln!(
+        "block_budget   step {step_s:>7.3}s  block {block_s:>7.3}s  \
+         speedup {bb_speedup:>5.2}x  identical={bb_identical}"
+    );
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"host_cpus\": {},\n  \"scale\": {{\"trace_seconds\": {}, \
          \"img\": {}, \"frames\": {}}},\n  \"experiments\": [{entries}\n  ],\n  \
+         \"block_budget\": {{\"step_s\": {step_s:.6}, \"block_s\": {block_s:.6}, \
+         \"speedup\": {bb_speedup:.4}, \"identical\": {bb_identical}}},\n  \
          \"total_serial_s\": {total_serial:.6},\n  \"total_parallel_s\": {total_parallel:.6},\n  \
          \"total_speedup\": {:.4},\n  \"all_identical\": {all_identical}\n}}\n",
         nvp_exec::available_parallelism(),
@@ -278,6 +293,7 @@ fn run_experiment(name: &str, scale: Scale, ablate: bool) -> Option<Vec<Table>> 
         "fig11" | "fig12" => e::fig12(scale),
         "fig13" | "fig14" => e::fig14(scale),
         "safebits" => e::safebits(scale),
+        "wcec" => e::wcec(scale),
         "fig15" => e::fig15(scale),
         "fig16" => e::fig16(scale),
         "fig17" | "fig18" => e::fig18(scale),

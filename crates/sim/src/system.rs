@@ -189,6 +189,29 @@ impl RunReport {
     }
 }
 
+/// How the run loop schedules capacitor checks against the instruction
+/// stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum ExecEngine {
+    /// Check the reserve before every instruction (the reference engine).
+    #[default]
+    Step,
+    /// Certificate-driven block execution: at a basic-block boundary,
+    /// compare the capacitor against the *static worst-case cost of the
+    /// remaining block suffix* (the per-block leg of the WCEC analysis,
+    /// priced with the same per-class energies the simulator charges). If
+    /// the whole suffix is affordable, the per-instruction reserve checks
+    /// and energy-formula evaluations inside the block are skipped — each
+    /// would provably pass, since nothing recharges the capacitor or
+    /// resizes the reserve mid-tick. Energy is still drained and accounted
+    /// per instruction, in the same order, so runs are bit-identical to
+    /// [`ExecEngine::Step`]; only the redundant checks go away. Falls back
+    /// to per-instruction checks when the suffix is not affordable, and is
+    /// bypassed entirely in incidental mode (merge probes need
+    /// per-instruction control anyway).
+    BlockBudget,
+}
+
 /// How much architectural state a backup persists.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum BackupScope {
@@ -243,6 +266,9 @@ pub struct SystemConfig {
     /// Lower clamp on governed bitwidths from the static safe-bits
     /// analysis (`nvp-lint --bitwidth`); `Off` reproduces the seed.
     pub static_bits_floor: StaticBitsFloor,
+    /// Capacitor-check scheduling (results are identical either way).
+    #[serde(default)]
+    pub exec_engine: ExecEngine,
 }
 
 impl Default for SystemConfig {
@@ -263,6 +289,7 @@ impl Default for SystemConfig {
             park_slots: 3,
             seed: 0x5EED,
             static_bits_floor: StaticBitsFloor::default(),
+            exec_engine: ExecEngine::default(),
         }
     }
 }
@@ -294,6 +321,13 @@ pub struct SystemSim {
     /// Tick at which the live frame's data was loaded (staleness clock).
     live_loaded_at: u64,
     backup_cost_by_bits: [Energy; 9],
+    /// Per-pc basic-block suffix: instruction counts by class and suffix
+    /// length, from this pc through the end of its block. This is the
+    /// static certificate [`ExecEngine::BlockBudget`] prices blocks with.
+    block_suffix: Vec<([u32; 6], u32)>,
+    /// Per-class instruction energies at the last-seen approximation
+    /// configuration (invalidated whenever the configuration changes).
+    class_cache: Option<(ApproxConfig, [Energy; 6])>,
     /// Per-pc live register sets (drives `BackupScope::LiveOnly`).
     backup_liveness: BackupLiveness,
     /// Resolved static safe-bits floor (1 = no clamp).
@@ -336,6 +370,17 @@ impl SystemSim {
             ResumeController::with_capacity(spec.program.loop_var_mask(), cfg.park_slots as usize);
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let backup_liveness = BackupLiveness::compute(&spec.program);
+        let mut block_suffix = vec![([0u32; 6], 0u32); spec.program.len()];
+        for blk in nvp_analysis::Cfg::build(&spec.program).blocks() {
+            let mut counts = [0u32; 6];
+            let mut n = 0u32;
+            for pc in blk.pcs().rev() {
+                let class = spec.program.fetch(pc).expect("pc in range").class();
+                counts[class.index()] += 1;
+                n += 1;
+                block_suffix[pc] = (counts, n);
+            }
+        }
         let static_floor = match cfg.static_bits_floor {
             StaticBitsFloor::Off => 1,
             StaticBitsFloor::Fixed(b) => b.clamp(1, FULL_BITS),
@@ -360,6 +405,8 @@ impl SystemSim {
             outage_start: 0,
             live_loaded_at: 0,
             backup_cost_by_bits,
+            block_suffix,
+            class_cache: None,
             backup_liveness,
             static_floor,
             rng,
@@ -866,10 +913,33 @@ impl SystemSim {
         self.vm.set_pc(0);
     }
 
+    /// Per-class energies at `cfg`, memoized across instructions (the
+    /// energy formula walks every lane with a fractional power; blocks
+    /// retire thousands of instructions between configuration changes).
+    fn class_energies(&mut self, cfg: &ApproxConfig) -> [Energy; 6] {
+        if let Some((cached, table)) = &self.class_cache {
+            if cached == cfg {
+                return *table;
+            }
+        }
+        let mut table = [Energy::ZERO; 6];
+        for class in nvp_isa::InstrClass::ALL {
+            table[class.index()] = self.cfg.energy.instr_energy(class, cfg);
+        }
+        self.class_cache = Some((*cfg, table));
+        table
+    }
+
     fn run_tick(&mut self, tick: u64, cursor: &mut FlushCursor, tracer: &mut dyn Tracer) {
         self.report.on_ticks += 1;
         let bits = self.live_data_bits().min(8) as usize;
         self.report.bit_utilization[bits] += 1;
+        let block_mode = self.cfg.exec_engine == ExecEngine::BlockBudget && !self.is_incidental();
+        // Instructions whose reserve check is pre-proven by a block-suffix
+        // certificate. The proof only spans code where nothing recharges
+        // the capacitor or resizes the reserve, so it never outlives the
+        // tick and is dropped at every control hand-off (frame commit).
+        let mut armed: u32 = 0;
         let mut cycles = 0u64;
         while cycles < CYCLES_PER_TICK {
             if self.is_incidental() {
@@ -878,14 +948,47 @@ impl SystemSim {
             let Some(instr) = self.vm.peek() else {
                 // Defensive: treat running off the end as frame completion.
                 self.commit_frames(tick, tracer);
+                armed = 0;
                 continue;
             };
             let cfg = self.vm.approx();
-            let e = self.cfg.energy.instr_energy(instr.class(), &cfg);
-            if self.cap.level() < self.reserve() + e {
-                self.do_backup(tick, cursor, tracer);
-                return;
-            }
+            let e = if block_mode {
+                let table = self.class_energies(&cfg);
+                let e = table[instr.class().index()];
+                if armed > 0 {
+                    armed -= 1;
+                    debug_assert!(
+                        self.cap.level() >= self.reserve() + e,
+                        "block certificate must imply the per-instruction check"
+                    );
+                } else {
+                    let (counts, n) = self.block_suffix[self.vm.pc()];
+                    let affordable = n >= 2 && {
+                        let mut suffix = Energy::ZERO;
+                        for (class, &count) in counts.iter().enumerate() {
+                            suffix += table[class] * count as f64;
+                        }
+                        self.cap.level() >= self.reserve() + suffix
+                    };
+                    if affordable {
+                        armed = n - 1;
+                    } else if self.cap.level() < self.reserve() + e {
+                        self.do_backup(tick, cursor, tracer);
+                        return;
+                    }
+                }
+                e
+            } else {
+                let e = self.cfg.energy.instr_energy(instr.class(), &cfg);
+                if self.cap.level() < self.reserve() + e {
+                    self.do_backup(tick, cursor, tracer);
+                    return;
+                }
+                e
+            };
+            // Drain per instruction even under a block certificate: the
+            // sequential f64 subtractions are what keep BlockBudget runs
+            // bit-identical to Step runs.
             let drained = self.cap.try_drain(e);
             debug_assert!(drained, "reserve check guarantees energy");
             self.report.energy_compute += e;
@@ -895,6 +998,7 @@ impl SystemSim {
             cycles += ev.cycles().max(1);
             match ev {
                 StepEvent::FrameDone => {
+                    armed = 0; // commit rewinds the pc out of the block
                     self.commit_frames(tick, tracer);
                     if self.phase == Phase::Done {
                         return;

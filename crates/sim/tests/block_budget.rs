@@ -1,0 +1,170 @@
+//! Differential gate for [`ExecEngine::BlockBudget`]: across every
+//! synthesized watch profile plus hand-built bursty and adversarial
+//! patterns, a BlockBudget run must be indistinguishable from the
+//! reference Step run — byte-identical JSONL traces, equal `RunReport`s,
+//! and a self-reconciling energy ledger. The block engine is allowed to
+//! *skip* redundant capacitor checks, never to change an outcome; this
+//! suite is what makes that a tested contract instead of a comment.
+
+use nvp_isa::ApproxConfig;
+use nvp_kernels::KernelId;
+use nvp_power::synth::WatchProfile;
+use nvp_power::{PowerProfile, Ticks};
+use nvp_sim::system::{ExecEngine, ExecMode, IncidentalSetup, SystemConfig, SystemSim};
+use nvp_sim::{Governor, RunReport};
+use nvp_trace::{CounterSink, JsonlBufSink, TeeSink};
+use std::sync::Arc;
+
+fn frames(id: KernelId, w: usize, h: usize, n: usize) -> Arc<Vec<Vec<i32>>> {
+    Arc::new((0..n).map(|i| id.make_input(w, h, 90 + i as u64)).collect())
+}
+
+/// Runs `id` under `mode`/`profile` with the given engine, returning the
+/// report, the full JSONL trace, and the folded summary.
+fn run(
+    id: KernelId,
+    mode: ExecMode,
+    profile: &PowerProfile,
+    engine: ExecEngine,
+) -> (RunReport, String, nvp_trace::TraceSummary) {
+    let (w, h) = id.min_dims();
+    let spec = id.spec(w, h);
+    let cfg = SystemConfig {
+        exec_engine: engine,
+        frames_limit: Some(4),
+        ..Default::default()
+    };
+    let sim = SystemSim::new(spec, frames(id, w, h, 4), mode, cfg);
+    let mut jsonl = JsonlBufSink::new();
+    let mut counts = CounterSink::default();
+    let mut tee = TeeSink {
+        a: &mut jsonl,
+        b: &mut counts,
+    };
+    let report = sim.run_traced(profile, &mut tee);
+    (report, jsonl.into_string(), counts.summary)
+}
+
+fn assert_lockstep(id: KernelId, mode: ExecMode, profile: &PowerProfile, label: &str) {
+    let (step_rep, step_trace, _) = run(id, mode, profile, ExecEngine::Step);
+    let (block_rep, block_trace, block_sum) = run(id, mode, profile, ExecEngine::BlockBudget);
+    assert_eq!(
+        step_trace,
+        block_trace,
+        "{label}: traces diverge for {}",
+        id.name()
+    );
+    assert_eq!(
+        step_rep,
+        block_rep,
+        "{label}: reports diverge for {}",
+        id.name()
+    );
+    let holes = block_sum.reconcile();
+    assert!(
+        holes.is_empty(),
+        "{label}: ledger mismatches for {}: {holes:?}",
+        id.name()
+    );
+}
+
+#[test]
+fn block_budget_is_lockstep_on_every_watch_profile() {
+    // The five synthesized wearable-harvest profiles from the paper's
+    // evaluation, precise mode: the common certification path.
+    for profile in WatchProfile::ALL {
+        let p = profile.synthesize_seconds(2.0);
+        assert_lockstep(
+            KernelId::Sobel,
+            ExecMode::Precise,
+            &p,
+            &format!("{profile:?}"),
+        );
+    }
+}
+
+#[test]
+fn block_budget_is_lockstep_under_bursty_power() {
+    // 12 ticks on, 138 dead: every charge cycle dies mid-frame, so backup
+    // placement is exquisitely sensitive to when the reserve check fires —
+    // exactly what the block certificate must not perturb.
+    let pattern: Vec<f64> = (0..60_000)
+        .map(|i| if i % 150 < 12 { 800.0 } else { 0.0 })
+        .collect();
+    let p = PowerProfile::from_uw(pattern);
+    assert_lockstep(KernelId::Median, ExecMode::Precise, &p, "bursty");
+}
+
+#[test]
+fn block_budget_is_lockstep_under_adversarial_power() {
+    // Adversarial: income hovers right at the reserve boundary with a
+    // pseudo-random flutter, maximizing ticks where a block is *almost*
+    // affordable and the engine must fall back to per-instruction checks.
+    let pattern: Vec<f64> = (0..60_000)
+        .map(|i| {
+            let x = (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            let jitter = (x >> 32) % 97;
+            if i % 7 < 4 {
+                60.0 + jitter as f64
+            } else {
+                0.0
+            }
+        })
+        .collect();
+    let p = PowerProfile::from_uw(pattern);
+    assert_lockstep(KernelId::Tiff2Bw, ExecMode::Precise, &p, "adversarial");
+}
+
+#[test]
+fn block_budget_is_lockstep_across_modes() {
+    // Fixed-width, dynamic-governed, and incidental (where the engine
+    // must bypass itself) all stay lockstep.
+    let p = WatchProfile::P3.synthesize_seconds(2.0);
+    assert_lockstep(
+        KernelId::Sobel,
+        ExecMode::Fixed(ApproxConfig::fixed(2)),
+        &p,
+        "fixed2",
+    );
+    assert_lockstep(
+        KernelId::Sobel,
+        ExecMode::Dynamic(Governor::new(1, 8)),
+        &p,
+        "dynamic",
+    );
+    assert_lockstep(
+        KernelId::Tiff2Bw,
+        ExecMode::Incidental(IncidentalSetup::new(2, 8).with_staleness(Ticks(50))),
+        &p,
+        "incidental",
+    );
+}
+
+#[test]
+fn static_budget_matches_simulator_platform() {
+    // Drift guard promised by `nvp_analysis::EnergyBudget`'s docs: the
+    // platform the WCEC lints certify against must be the platform the
+    // simulator actually runs. If someone retunes `SystemConfig::default`
+    // this fails until the analysis-side budget is retuned with it.
+    let budget = nvp_analysis::EnergyBudget::default_platform();
+    let sim = SystemConfig::default();
+    assert_eq!(budget.capacity_nj, sim.capacitor_capacity.as_nj());
+    assert_eq!(budget.backup_policy, sim.backup_policy);
+    assert_eq!(budget.reserve_safety, sim.reserve_safety);
+    assert_eq!(budget.model, sim.energy);
+}
+
+#[test]
+fn block_budget_actually_runs_and_commits() {
+    // Sanity: the lockstep suite would pass vacuously if nothing ran.
+    let p = WatchProfile::P1.synthesize_seconds(2.0);
+    let (rep, trace, _) = run(
+        KernelId::Sobel,
+        ExecMode::Precise,
+        &p,
+        ExecEngine::BlockBudget,
+    );
+    assert!(rep.instructions_retired > 0);
+    assert!(rep.frames_committed > 0);
+    assert!(trace.contains("run_end"));
+}
