@@ -10,16 +10,23 @@
 //! per-kernel, per-region worst-case energy certificates across the
 //! declared governor range, judged against the platform capacitor budget
 //! (exits non-zero only on error-level energy diagnostics, i.e. provable
-//! livelock). `--json PATH` additionally writes the full certificate set
-//! as a JSON artifact (energy mode only).
+//! livelock). Pass `--checkpoint` for the placement-synthesis mode:
+//! per-kernel dirty-set analysis and checkpoint placement search, with
+//! re-executability (`NVP-E007`) gating the exit code.
+//!
+//! `--json PATH` works in every mode and writes that mode's report as a
+//! JSON artifact through the shared serializer in
+//! [`nvp_analysis::diag::Json`]: the diagnostic list (default mode), the
+//! bitwidth report (`--bitwidth`), the WCEC certificate set (`--energy`),
+//! or the placement certificates (`--checkpoint`).
 
 use nvp_analysis::diag::render_legend;
 use nvp_analysis::{
-    analyze_program, analyze_with, bitwidth_report, AnalysisConfig, Cfg, DeclaredBits, LintCode,
-    Pass, PassContext, Severity, Wcec, WcecPass, NEVER_SAFE,
+    analyze_program, analyze_with, bitwidth_report, AnalysisConfig, Cfg, CkptPass, DeclaredBits,
+    Diagnostic, Json, LintCode, Pass, PassContext, Severity, TripBound, Wcec, WcecPass,
+    NEVER_SAFE,
 };
 use nvp_kernels::KernelId;
-use std::fmt::Write as _;
 use std::process::ExitCode;
 
 fn kernel_config(id: KernelId, mem_words: usize) -> AnalysisConfig {
@@ -31,12 +38,14 @@ fn kernel_config(id: KernelId, mem_words: usize) -> AnalysisConfig {
     }
 }
 
-const USAGE: &str = "usage: nvp-lint [-v|--verbose] [--bitwidth] [--energy] [--json PATH]";
+const USAGE: &str =
+    "usage: nvp-lint [-v|--verbose] [--bitwidth|--energy|--checkpoint] [--json PATH]";
 
 fn main() -> ExitCode {
     let mut verbose = false;
     let mut bitwidth = false;
     let mut energy = false;
+    let mut checkpoint = false;
     let mut json_path: Option<String> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -44,6 +53,7 @@ fn main() -> ExitCode {
             "-v" | "--verbose" => verbose = true,
             "--bitwidth" => bitwidth = true,
             "--energy" => energy = true,
+            "--checkpoint" => checkpoint = true,
             "--json" => match args.next() {
                 Some(p) => json_path = Some(p),
                 None => {
@@ -63,24 +73,58 @@ fn main() -> ExitCode {
             }
         }
     }
-    if json_path.is_some() && !energy {
-        eprintln!("nvp-lint: --json only applies to --energy mode");
-        eprintln!("{USAGE}");
-        return ExitCode::from(2);
-    }
-    if bitwidth && energy {
-        eprintln!("nvp-lint: pick one of --bitwidth / --energy");
+    if usize::from(bitwidth) + usize::from(energy) + usize::from(checkpoint) > 1 {
+        eprintln!("nvp-lint: pick one of --bitwidth / --energy / --checkpoint");
         return ExitCode::from(2);
     }
     if bitwidth {
-        return run_bitwidth_report(verbose);
+        return run_bitwidth_report(verbose, json_path.as_deref());
     }
     if energy {
         return run_energy_report(verbose, json_path.as_deref());
     }
+    if checkpoint {
+        return run_checkpoint_report(verbose, json_path.as_deref());
+    }
+    run_default(verbose, json_path.as_deref())
+}
 
+/// One diagnostic as a JSON object (shared by every mode's artifact).
+fn diag_json(d: &Diagnostic) -> Json {
+    let mut o = Json::obj();
+    o.set("code", Json::str(d.code.as_str()))
+        .set("severity", Json::str(d.severity().to_string()))
+        .set(
+            "pc",
+            match d.pc {
+                Some(pc) => Json::Num(pc as f64),
+                None => Json::Null,
+            },
+        )
+        .set("message", Json::str(d.message.clone()));
+    o
+}
+
+/// Writes `json` to `path`; returns false (after printing) on failure.
+fn write_json_artifact(path: &str, json: &Json) -> bool {
+    let mut text = json.render();
+    text.push('\n');
+    match std::fs::write(path, text) {
+        Ok(()) => {
+            println!("\nreport written to {path}");
+            true
+        }
+        Err(e) => {
+            eprintln!("nvp-lint: cannot write {path}: {e}");
+            false
+        }
+    }
+}
+
+fn run_default(verbose: bool, json_path: Option<&str>) -> ExitCode {
     let mut total_violations = 0usize;
     let mut total_diags = 0usize;
+    let mut kernels_json = Vec::new();
     for id in KernelId::ALL {
         let (w, h) = id.min_dims();
         let spec = id.spec(w, h);
@@ -107,6 +151,28 @@ fn main() -> ExitCode {
             for line in d.to_string().lines() {
                 println!("    {line}");
             }
+        }
+
+        let mut k = Json::obj();
+        k.set("kernel", Json::str(id.name()))
+            .set("width", Json::Num(w as f64))
+            .set("height", Json::Num(h as f64))
+            .set("instrs", Json::Num(spec.program.len() as f64))
+            .set("violations", Json::Num(violations as f64))
+            .set(
+                "diagnostics",
+                Json::Arr(report.diagnostics.iter().map(diag_json).collect()),
+            );
+        kernels_json.push(k);
+    }
+
+    if let Some(path) = json_path {
+        let mut root = Json::obj();
+        root.set("schema", Json::str("nvp-lint-report-v1"))
+            .set("generated_by", Json::str("nvp-lint"))
+            .set("kernels", Json::Arr(kernels_json));
+        if !write_json_artifact(path, &root) {
+            return ExitCode::from(2);
         }
     }
 
@@ -155,8 +221,9 @@ fn fmt_err(e: u64) -> String {
 
 /// The `--bitwidth` report: per-kernel floors, per-block safe-bits
 /// tables, per-setting output error bounds.
-fn run_bitwidth_report(verbose: bool) -> ExitCode {
+fn run_bitwidth_report(verbose: bool, json_path: Option<&str>) -> ExitCode {
     let mut errors = 0usize;
+    let mut kernels_json = Vec::new();
     for id in KernelId::ALL {
         let (w, h) = id.min_dims();
         let spec = id.spec(w, h);
@@ -194,13 +261,86 @@ fn run_bitwidth_report(verbose: bool) -> ExitCode {
         }
         // E-level diagnostics from the full pipeline gate the exit code.
         let diags = analyze_program(&spec.program, &config);
+        let kernel_errors = diags.count_at_least(Severity::Error);
+        errors += kernel_errors;
         for d in diags.at_least(Severity::Error) {
-            errors += 1;
             for line in d.to_string().lines() {
                 println!("    {line}");
             }
         }
+
+        let mut k = Json::obj();
+        k.set("kernel", Json::str(id.name()))
+            .set("width", Json::Num(w as f64))
+            .set("height", Json::Num(h as f64))
+            .set(
+                "declared",
+                Json::Arr(vec![
+                    Json::Num(f64::from(minbits)),
+                    Json::Num(f64::from(maxbits)),
+                ]),
+            )
+            .set(
+                "program_floor",
+                if report.program_floor >= NEVER_SAFE {
+                    Json::Null
+                } else {
+                    Json::Num(f64::from(report.program_floor))
+                },
+            )
+            .set(
+                "blocks",
+                Json::Arr(
+                    report
+                        .block_floors
+                        .iter()
+                        .map(|b| {
+                            let mut o = Json::obj();
+                            o.set("start", Json::Num(b.start as f64))
+                                .set("end", Json::Num(b.end as f64))
+                                .set(
+                                    "floor",
+                                    if b.floor >= NEVER_SAFE {
+                                        Json::Null
+                                    } else {
+                                        Json::Num(f64::from(b.floor))
+                                    },
+                                );
+                            o
+                        })
+                        .collect(),
+                ),
+            )
+            .set(
+                "output_err",
+                Json::Arr(
+                    report
+                        .output_err
+                        .iter()
+                        .map(|&e| {
+                            if e == u64::MAX {
+                                Json::Null
+                            } else {
+                                Json::Num(e as f64)
+                            }
+                        })
+                        .collect(),
+                ),
+            )
+            .set("errors", Json::Num(kernel_errors as f64));
+        kernels_json.push(k);
     }
+
+    if let Some(path) = json_path {
+        let mut root = Json::obj();
+        root.set("schema", Json::str("nvp-bitwidth-report-v1"))
+            .set("generated_by", Json::str("nvp-lint --bitwidth"))
+            .set("kernels", Json::Arr(kernels_json));
+        if !write_json_artifact(path, &root) {
+            return ExitCode::from(2);
+        }
+    }
+
     print!(
         "\n{}",
         render_legend(&[
@@ -228,10 +368,10 @@ fn fmt_wcec(w: Wcec) -> String {
     }
 }
 
-fn json_wcec(w: Wcec) -> String {
-    match w {
-        Wcec::Bounded(nj) => format!("{nj}"),
-        Wcec::Unbounded => "null".to_string(),
+fn json_wcec(w: Wcec) -> Json {
+    match w.nj() {
+        Some(nj) => Json::num(nj),
+        None => Json::Null,
     }
 }
 
@@ -240,17 +380,9 @@ fn json_wcec(w: Wcec) -> String {
 fn run_energy_report(verbose: bool, json_path: Option<&str>) -> ExitCode {
     let pass = WcecPass::default();
     let mut errors = 0usize;
-    let mut json = String::new();
-    let _ = writeln!(json, "{{");
-    let _ = writeln!(json, "  \"generated_by\": \"nvp-lint --energy\",");
-    let _ = writeln!(
-        json,
-        "  \"budget\": {{\"capacity_nj\": {}, \"reserve_safety\": {}, \"backup_policy\": \"{:?}\"}},",
-        pass.budget.capacity_nj, pass.budget.reserve_safety, pass.budget.backup_policy
-    );
-    let _ = writeln!(json, "  \"kernels\": [");
+    let mut kernels_json = Vec::new();
 
-    for (ki, id) in KernelId::ALL.into_iter().enumerate() {
+    for id in KernelId::ALL {
         let (w, h) = id.min_dims();
         let spec = id.spec(w, h);
         let cfg = Cfg::build(&spec.program);
@@ -322,77 +454,111 @@ fn run_energy_report(verbose: bool, json_path: Option<&str>) -> ExitCode {
         }
 
         // JSON artifact entry.
-        let comma = if ki + 1 < KernelId::ALL.len() {
-            ","
-        } else {
-            ""
-        };
-        let _ = writeln!(
-            json,
-            "    {{\"kernel\": \"{}\", \"width\": {w}, \"height\": {h}, \"declared\": [{minbits}, {maxbits}],",
-            id.name()
-        );
-        let _ = writeln!(
-            json,
-            "     \"errors\": {}, \"warnings\": {},",
-            report.count_at_least(Severity::Error),
-            report.count_at_least(Severity::Warning) - report.count_at_least(Severity::Error),
-        );
-        let _ = writeln!(json, "     \"certificates\": [");
-        for (ci, cert) in certs.iter().enumerate() {
-            let regions: Vec<String> = cert
-                .regions
-                .iter()
-                .map(|r| {
-                    format!(
-                        "{{\"start_pc\": {}, \"kind\": \"{}\", \"pcs\": {}, \"wcec_nj\": {}, \"min_nj\": {}}}",
-                        r.start_pc,
-                        r.kind,
-                        r.pcs.len(),
-                        json_wcec(r.wcec),
-                        r.min_nj
-                    )
-                })
-                .collect();
-            let loops: Vec<String> = cert
-                .loops
-                .loops
-                .iter()
-                .map(|l| {
-                    let bound = match l.bound {
-                        nvp_analysis::TripBound::Bounded(n) => n.to_string(),
-                        nvp_analysis::TripBound::Unbounded => "null".to_string(),
-                    };
-                    format!(
-                        "{{\"head_pc\": {}, \"bound\": {bound}, \"min_bound\": {}, \"stride\": {}}}",
-                        l.head_pc(&cfg),
-                        l.min_bound,
-                        l.stride
-                    )
-                })
-                .collect();
-            let ccomma = if ci + 1 < certs.len() { "," } else { "" };
-            let _ = writeln!(
-                json,
-                "       {{\"bits\": {}, \"usable_nj\": {}, \"program_nj\": {}, \"regions\": [{}], \"loops\": [{}]}}{ccomma}",
-                cert.bits,
-                pass.budget.usable_nj(cert.bits),
-                json_wcec(cert.program),
-                regions.join(", "),
-                loops.join(", ")
+        let mut k = Json::obj();
+        k.set("kernel", Json::str(id.name()))
+            .set("width", Json::Num(w as f64))
+            .set("height", Json::Num(h as f64))
+            .set(
+                "declared",
+                Json::Arr(vec![
+                    Json::Num(f64::from(minbits)),
+                    Json::Num(f64::from(maxbits)),
+                ]),
+            )
+            .set(
+                "errors",
+                Json::Num(report.count_at_least(Severity::Error) as f64),
+            )
+            .set(
+                "warnings",
+                Json::Num(
+                    (report.count_at_least(Severity::Warning)
+                        - report.count_at_least(Severity::Error)) as f64,
+                ),
+            )
+            .set(
+                "certificates",
+                Json::Arr(
+                    certs
+                        .iter()
+                        .map(|cert| {
+                            let mut c = Json::obj();
+                            c.set("bits", Json::Num(f64::from(cert.bits)))
+                                .set("usable_nj", Json::num(pass.budget.usable_nj(cert.bits)))
+                                .set("program_nj", json_wcec(cert.program))
+                                .set(
+                                    "regions",
+                                    Json::Arr(
+                                        cert.regions
+                                            .iter()
+                                            .map(|r| {
+                                                let mut o = Json::obj();
+                                                o.set("start_pc", Json::Num(r.start_pc as f64))
+                                                    .set("kind", Json::str(r.kind.to_string()))
+                                                    .set("pcs", Json::Num(r.pcs.len() as f64))
+                                                    .set("wcec_nj", json_wcec(r.wcec))
+                                                    .set("min_nj", Json::num(r.min_nj));
+                                                o
+                                            })
+                                            .collect(),
+                                    ),
+                                )
+                                .set(
+                                    "loops",
+                                    Json::Arr(
+                                        cert.loops
+                                            .loops
+                                            .iter()
+                                            .map(|l| {
+                                                let mut o = Json::obj();
+                                                o.set(
+                                                    "head_pc",
+                                                    Json::Num(l.head_pc(&cfg) as f64),
+                                                )
+                                                .set(
+                                                    "bound",
+                                                    match l.bound {
+                                                        TripBound::Bounded(n) => {
+                                                            Json::Num(n as f64)
+                                                        }
+                                                        TripBound::Unbounded => Json::Null,
+                                                    },
+                                                )
+                                                .set(
+                                                    "min_bound",
+                                                    Json::Num(l.min_bound as f64),
+                                                )
+                                                .set("stride", Json::Num(l.stride as f64));
+                                                o
+                                            })
+                                            .collect(),
+                                    ),
+                                );
+                            c
+                        })
+                        .collect(),
+                ),
             );
-        }
-        let _ = writeln!(json, "     ]}}{comma}");
+        kernels_json.push(k);
     }
-    let _ = writeln!(json, "  ]");
-    let _ = writeln!(json, "}}");
 
     if let Some(path) = json_path {
-        if let Err(e) = std::fs::write(path, &json) {
-            eprintln!("nvp-lint: cannot write {path}: {e}");
+        let mut root = Json::obj();
+        root.set("schema", Json::str("nvp-wcec-cert-v1"))
+            .set("generated_by", Json::str("nvp-lint --energy"));
+        let mut budget = Json::obj();
+        budget
+            .set("capacity_nj", Json::num(pass.budget.capacity_nj))
+            .set("reserve_safety", Json::num(pass.budget.reserve_safety))
+            .set(
+                "backup_policy",
+                Json::str(format!("{:?}", pass.budget.backup_policy)),
+            );
+        root.set("budget", budget)
+            .set("kernels", Json::Arr(kernels_json));
+        if !write_json_artifact(path, &root) {
             return ExitCode::from(2);
         }
-        println!("\ncertificates written to {path}");
     }
 
     print!(
@@ -405,6 +571,140 @@ fn run_energy_report(verbose: bool, json_path: Option<&str>) -> ExitCode {
     );
     println!(
         "\n{} kernels checked, {} error-level energy diagnostics",
+        KernelId::ALL.len(),
+        errors
+    );
+    if errors == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// The `--checkpoint` report: per-kernel dirty-set analysis and
+/// checkpoint placement synthesis, with machine-checkable certificates.
+fn run_checkpoint_report(verbose: bool, json_path: Option<&str>) -> ExitCode {
+    let pass = CkptPass::default();
+    let mut errors = 0usize;
+    let mut kernels_json = Vec::new();
+
+    for id in KernelId::ALL {
+        let (w, h) = id.min_dims();
+        let spec = id.spec(w, h);
+        let cfg = Cfg::build(&spec.program);
+        let config = kernel_config(id, spec.mem_words);
+        let cx = PassContext {
+            program: &spec.program,
+            cfg: &cfg,
+            config: &config,
+        };
+        let synth = pass.synthesis(&cx);
+        println!(
+            "{:<16} {}x{:<3} bits {}..={}  declared {} ckpt {:.2} nJ | synthesized {} ckpt {:.2} nJ ({:+.1}%)",
+            id.name(),
+            w,
+            h,
+            synth.bits_lo,
+            synth.bits_hi,
+            synth.declared.checkpoints.len(),
+            synth.declared.cost_nj(),
+            synth.synthesized.checkpoints.len(),
+            synth.synthesized.cost_nj(),
+            -synth.savings_pct,
+        );
+        println!("    placement  region        start  pcs  dirty-regs  dirty-mem  hazards  WCEC@{}b (nJ)", synth.bits_hi);
+        for (tag, eval) in [("declared", &synth.declared), ("synth", &synth.synthesized)] {
+            if !verbose && tag == "synth" && eval.checkpoints == synth.declared.checkpoints {
+                continue;
+            }
+            for r in &eval.regions {
+                println!(
+                    "    {:<9}  {:<12} {:>6} {:>4}  {:>10} {:>10}  {:>7}  {}",
+                    tag,
+                    r.kind.to_string(),
+                    r.start_pc,
+                    r.len,
+                    r.dirty_regs.count_ones(),
+                    match r.mem_dirty_words {
+                        Some(n) => n.to_string(),
+                        None => "whole".to_string(),
+                    },
+                    r.hazard_pcs.len(),
+                    match r.wcec_hi_nj {
+                        Some(nj) => format!("{nj:.1}"),
+                        None => "unbounded".to_string(),
+                    },
+                );
+            }
+        }
+        if !synth.synthesized.infeasible_bits.is_empty() {
+            println!(
+                "    infeasible at bits {:?}",
+                synth.synthesized.infeasible_bits
+            );
+        }
+
+        // Lints: E007 gates the exit; W005/I003 inform.
+        let report = analyze_with(
+            &spec.program,
+            &config,
+            &[Box::new(CkptPass::default()) as Box<dyn Pass>],
+        );
+        errors += report.count_at_least(Severity::Error);
+        for d in &report.diagnostics {
+            if verbose || d.severity() >= Severity::Warning {
+                for line in d.to_string().lines() {
+                    println!("    {line}");
+                }
+            }
+        }
+
+        let mut k = Json::obj();
+        k.set("kernel", Json::str(id.name()))
+            .set("width", Json::Num(w as f64))
+            .set("height", Json::Num(h as f64))
+            .set(
+                "errors",
+                Json::Num(report.count_at_least(Severity::Error) as f64),
+            )
+            .set(
+                "diagnostics",
+                Json::Arr(report.diagnostics.iter().map(diag_json).collect()),
+            )
+            .set("certificate", synth.to_json());
+        kernels_json.push(k);
+    }
+
+    if let Some(path) = json_path {
+        let mut root = Json::obj();
+        root.set("schema", Json::str("nvp-ckpt-report-v1"))
+            .set("generated_by", Json::str("nvp-lint --checkpoint"));
+        let mut budget = Json::obj();
+        budget
+            .set("capacity_nj", Json::num(pass.budget.capacity_nj))
+            .set("reserve_safety", Json::num(pass.budget.reserve_safety))
+            .set(
+                "backup_policy",
+                Json::str(format!("{:?}", pass.budget.backup_policy)),
+            );
+        root.set("budget", budget)
+            .set("kernels", Json::Arr(kernels_json));
+        if !write_json_artifact(path, &root) {
+            return ExitCode::from(2);
+        }
+    }
+
+    print!(
+        "\n{}",
+        render_legend(&[
+            LintCode::WarHazard,
+            LintCode::DirtyNotReexecutable,
+            LintCode::NoFeasiblePlacement,
+            LintCode::PlacementSavings,
+        ])
+    );
+    println!(
+        "\n{} kernels checked, {} error-level checkpoint diagnostics",
         KernelId::ALL.len(),
         errors
     );

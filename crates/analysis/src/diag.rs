@@ -70,23 +70,36 @@ pub enum LintCode {
     /// `NVP-I002`: WCEC headroom report — worst region energy vs. the
     /// usable capacitor budget at the declared operating floor.
     WcecHeadroom,
+    /// `NVP-E007`: a checkpoint-to-checkpoint region is not provably
+    /// re-executable under its `live ∩ dirty` backup mask (a WAR hazard
+    /// survives the dirty-set restriction).
+    DirtyNotReexecutable,
+    /// `NVP-W005`: no checkpoint placement is simultaneously
+    /// re-executable and WCEC-feasible at some governor bitwidth.
+    NoFeasiblePlacement,
+    /// `NVP-I003`: the synthesized checkpoint placement saves a
+    /// significant fraction of backup energy vs. the declared placement.
+    PlacementSavings,
 }
 
 impl LintCode {
     /// Every lint code, in legend order (errors, warnings, infos).
-    pub const ALL: [LintCode; 12] = [
+    pub const ALL: [LintCode; 15] = [
         LintCode::BranchOnApprox,
         LintCode::AddressFromApprox,
         LintCode::StoreOutsideRegion,
         LintCode::ApproxUnsafeAddressOrBranch,
         LintCode::ExactValueOverflow,
         LintCode::RegionLivelock,
+        LintCode::DirtyNotReexecutable,
         LintCode::WarHazard,
         LintCode::DeadResumeReg,
         LintCode::OverConservativeBits,
         LintCode::UnboundedLoop,
+        LintCode::NoFeasiblePlacement,
         LintCode::BackupLiveSet,
         LintCode::WcecHeadroom,
+        LintCode::PlacementSavings,
     ];
 
     /// The stable code string (`NVP-E001`, …).
@@ -104,6 +117,9 @@ impl LintCode {
             LintCode::UnboundedLoop => "NVP-W004",
             LintCode::BackupLiveSet => "NVP-I001",
             LintCode::WcecHeadroom => "NVP-I002",
+            LintCode::DirtyNotReexecutable => "NVP-E007",
+            LintCode::NoFeasiblePlacement => "NVP-W005",
+            LintCode::PlacementSavings => "NVP-I003",
         }
     }
 
@@ -130,6 +146,15 @@ impl LintCode {
             LintCode::UnboundedLoop => "loop trip count could not be bounded",
             LintCode::BackupLiveSet => "backup live-set report at a resume point",
             LintCode::WcecHeadroom => "WCEC headroom vs. the usable capacitor budget",
+            LintCode::DirtyNotReexecutable => {
+                "region not provably re-executable under its live∩dirty mask"
+            }
+            LintCode::NoFeasiblePlacement => {
+                "no re-executable, WCEC-feasible checkpoint placement at some bitwidth"
+            }
+            LintCode::PlacementSavings => {
+                "synthesized placement saves significant backup energy vs. declared"
+            }
         }
     }
 
@@ -141,12 +166,16 @@ impl LintCode {
             | LintCode::StoreOutsideRegion
             | LintCode::ApproxUnsafeAddressOrBranch
             | LintCode::ExactValueOverflow
-            | LintCode::RegionLivelock => Severity::Error,
+            | LintCode::RegionLivelock
+            | LintCode::DirtyNotReexecutable => Severity::Error,
             LintCode::WarHazard
             | LintCode::DeadResumeReg
             | LintCode::OverConservativeBits
-            | LintCode::UnboundedLoop => Severity::Warning,
-            LintCode::BackupLiveSet | LintCode::WcecHeadroom => Severity::Info,
+            | LintCode::UnboundedLoop
+            | LintCode::NoFeasiblePlacement => Severity::Warning,
+            LintCode::BackupLiveSet | LintCode::WcecHeadroom | LintCode::PlacementSavings => {
+                Severity::Info
+            }
         }
     }
 }
@@ -176,6 +205,313 @@ impl fmt::Display for LintCode {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.as_str())
     }
+}
+
+/// A JSON value: the one serializer every `nvp-lint` report mode renders
+/// its `--json` export through.
+///
+/// Object keys keep insertion order so reports are byte-stable across
+/// runs, and [`Json::parse`] round-trips anything [`Json::render`]
+/// produces — which is what lets CI (and tests) re-read a placement
+/// certificate and check it structurally rather than by regex.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null` (e.g. an unbounded WCEC ceiling).
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A number. Integral values render without a decimal point.
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// An empty object, ready for [`Json::set`].
+    pub fn obj() -> Json {
+        Json::Obj(Vec::new())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A finite number, or `null` when `n` is NaN/infinite (unbounded).
+    pub fn num(n: f64) -> Json {
+        if n.is_finite() {
+            Json::Num(n)
+        } else {
+            Json::Null
+        }
+    }
+
+    /// Appends `key: value` to an object (panics on non-objects — a
+    /// builder bug, not a data error).
+    pub fn set(&mut self, key: impl Into<String>, value: Json) -> &mut Json {
+        match self {
+            Json::Obj(fields) => fields.push((key.into(), value)),
+            other => panic!("Json::set on non-object {other:?}"),
+        }
+        self
+    }
+
+    /// Looks up a key in an object.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The array elements, if this is an array.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// The numeric value, if this is a number.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The string value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Renders with two-space indentation and a trailing newline.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        self.write(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write(&self, out: &mut String, indent: usize) {
+        match self {
+            Json::Null => out.push_str("null"),
+            Json::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+            Json::Num(n) => {
+                if n.fract() == 0.0 && n.abs() < 9e15 {
+                    out.push_str(&format!("{}", *n as i64));
+                } else {
+                    out.push_str(&format!("{n}"));
+                }
+            }
+            Json::Str(s) => write_json_str(out, s),
+            Json::Arr(items) => {
+                if items.is_empty() {
+                    out.push_str("[]");
+                    return;
+                }
+                out.push('[');
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    item.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push(']');
+            }
+            Json::Obj(fields) => {
+                if fields.is_empty() {
+                    out.push_str("{}");
+                    return;
+                }
+                out.push('{');
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push('\n');
+                    out.push_str(&"  ".repeat(indent + 1));
+                    write_json_str(out, k);
+                    out.push_str(": ");
+                    v.write(out, indent + 1);
+                }
+                out.push('\n');
+                out.push_str(&"  ".repeat(indent));
+                out.push('}');
+            }
+        }
+    }
+
+    /// Parses a JSON document (full grammar minus `\u` escapes beyond
+    /// what [`Json::render`] emits). Errors carry a byte offset.
+    pub fn parse(text: &str) -> Result<Json, String> {
+        let bytes = text.as_bytes();
+        let mut pos = 0;
+        let value = parse_value(bytes, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        if pos != bytes.len() {
+            return Err(format!("trailing data at byte {pos}"));
+        }
+        Ok(value)
+    }
+}
+
+fn write_json_str(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(bytes, pos);
+    match bytes.get(*pos) {
+        None => Err("unexpected end of input".into()),
+        Some(b'n') => parse_lit(bytes, pos, "null", Json::Null),
+        Some(b't') => parse_lit(bytes, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(bytes, pos, "false", Json::Bool(false)),
+        Some(b'"') => Ok(Json::Str(parse_string(bytes, pos)?)),
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            loop {
+                items.push(parse_value(bytes, pos)?);
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(Json::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(bytes, pos);
+            if bytes.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(Json::Obj(fields));
+            }
+            loop {
+                skip_ws(bytes, pos);
+                let key = parse_string(bytes, pos)?;
+                skip_ws(bytes, pos);
+                if bytes.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(bytes, pos)?));
+                skip_ws(bytes, pos);
+                match bytes.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(Json::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(_) => {
+            let start = *pos;
+            if bytes.get(*pos) == Some(&b'-') {
+                *pos += 1;
+            }
+            while *pos < bytes.len()
+                && matches!(bytes[*pos], b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+            {
+                *pos += 1;
+            }
+            let text = std::str::from_utf8(&bytes[start..*pos]).map_err(|e| e.to_string())?;
+            text.parse::<f64>()
+                .map(Json::Num)
+                .map_err(|_| format!("bad number {text:?} at byte {start}"))
+        }
+    }
+}
+
+fn parse_lit(bytes: &[u8], pos: &mut usize, lit: &str, value: Json) -> Result<Json, String> {
+    if bytes[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(value)
+    } else {
+        Err(format!("expected {lit} at byte {pos}"))
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
+    if bytes.get(*pos) != Some(&b'"') {
+        return Err(format!("expected string at byte {pos}"));
+    }
+    *pos += 1;
+    let mut out = Vec::new();
+    while let Some(&b) = bytes.get(*pos) {
+        *pos += 1;
+        match b {
+            b'"' => return String::from_utf8(out).map_err(|e| e.to_string()),
+            b'\\' => {
+                let esc = bytes.get(*pos).ok_or("unterminated escape")?;
+                *pos += 1;
+                match esc {
+                    b'"' => out.push(b'"'),
+                    b'\\' => out.push(b'\\'),
+                    b'/' => out.push(b'/'),
+                    b'n' => out.push(b'\n'),
+                    b't' => out.push(b'\t'),
+                    b'r' => out.push(b'\r'),
+                    b'u' => {
+                        let hex = bytes
+                            .get(*pos..*pos + 4)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .ok_or("truncated \\u escape")?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| format!("bad \\u escape at byte {pos}"))?;
+                        *pos += 4;
+                        let c = char::from_u32(code).ok_or("bad \\u code point")?;
+                        let mut buf = [0u8; 4];
+                        out.extend_from_slice(c.encode_utf8(&mut buf).as_bytes());
+                    }
+                    other => return Err(format!("bad escape \\{}", *other as char)),
+                }
+            }
+            b => out.push(b),
+        }
+    }
+    Err("unterminated string".into())
 }
 
 /// One finding from one pass.
@@ -262,12 +598,18 @@ mod tests {
         assert_eq!(LintCode::RegionLivelock.as_str(), "NVP-E006");
         assert_eq!(LintCode::UnboundedLoop.as_str(), "NVP-W004");
         assert_eq!(LintCode::WcecHeadroom.as_str(), "NVP-I002");
+        assert_eq!(LintCode::DirtyNotReexecutable.as_str(), "NVP-E007");
+        assert_eq!(LintCode::NoFeasiblePlacement.as_str(), "NVP-W005");
+        assert_eq!(LintCode::PlacementSavings.as_str(), "NVP-I003");
         assert_eq!(LintCode::ExactValueOverflow.severity(), Severity::Error);
         assert_eq!(LintCode::RegionLivelock.severity(), Severity::Error);
+        assert_eq!(LintCode::DirtyNotReexecutable.severity(), Severity::Error);
         assert_eq!(LintCode::OverConservativeBits.severity(), Severity::Warning);
         assert_eq!(LintCode::UnboundedLoop.severity(), Severity::Warning);
+        assert_eq!(LintCode::NoFeasiblePlacement.severity(), Severity::Warning);
         assert_eq!(LintCode::BackupLiveSet.severity(), Severity::Info);
         assert_eq!(LintCode::WcecHeadroom.severity(), Severity::Info);
+        assert_eq!(LintCode::PlacementSavings.severity(), Severity::Info);
         assert!(Severity::Error > Severity::Warning);
         assert!(Severity::Warning > Severity::Info);
     }
@@ -309,5 +651,54 @@ mod tests {
         let d = Diagnostic::program_level(LintCode::DeadResumeReg, "r9 never read");
         assert!(d.pc.is_none());
         assert!(!d.to_string().contains("pc"));
+    }
+
+    #[test]
+    fn json_round_trips_structures() {
+        let mut obj = Json::obj();
+        obj.set("name", Json::str("fft"))
+            .set("bits", Json::Num(8.0))
+            .set("wcec_nj", Json::num(f64::INFINITY))
+            .set("feasible", Json::Bool(true))
+            .set("frac", Json::Num(0.8125))
+            .set(
+                "pcs",
+                Json::Arr(vec![Json::Num(0.0), Json::Num(17.0), Json::Num(42.0)]),
+            )
+            .set("empty_arr", Json::Arr(vec![]))
+            .set("empty_obj", Json::obj())
+            .set("note", Json::str("quote \" slash \\ tab\tnewline\n"));
+        let text = obj.render();
+        let back = Json::parse(&text).expect("parse rendered JSON");
+        assert_eq!(back, obj);
+        // Re-render must be byte-identical (key order preserved).
+        assert_eq!(back.render(), text);
+    }
+
+    #[test]
+    fn json_integral_numbers_render_without_decimal() {
+        let text = Json::Num(42.0).render();
+        assert_eq!(text, "42\n");
+        assert_eq!(Json::num(f64::NAN), Json::Null);
+        assert!(Json::Num(0.5).render().starts_with("0.5"));
+    }
+
+    #[test]
+    fn json_accessors_navigate_objects() {
+        let mut obj = Json::obj();
+        obj.set("a", Json::Num(3.0))
+            .set("b", Json::Arr(vec![Json::str("x")]));
+        assert_eq!(obj.get("a").and_then(Json::as_num), Some(3.0));
+        let arr = obj.get("b").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr[0].as_str(), Some("x"));
+        assert!(obj.get("missing").is_none());
+    }
+
+    #[test]
+    fn json_parse_rejects_garbage() {
+        assert!(Json::parse("{").is_err());
+        assert!(Json::parse("[1,]").is_err());
+        assert!(Json::parse("42 tail").is_err());
+        assert!(Json::parse("\"unterminated").is_err());
     }
 }

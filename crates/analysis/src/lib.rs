@@ -34,7 +34,17 @@
 //!   checkpoint-to-checkpoint region, and per program;
 //! * [`wcec_lint`] — forward-progress lints over the certificates
 //!   (`NVP-E006` provable livelock, `NVP-W004` unknown loop bound,
-//!   `NVP-I002` energy headroom), driving `nvp-lint --energy`.
+//!   `NVP-I002` energy headroom), driving `nvp-lint --energy`;
+//! * [`dirty`] — per-region sound upper bounds on the registers and
+//!   memory words any execution can write between two checkpoints,
+//!   intersected with backup liveness into per-pc `live ∩ dirty`
+//!   backup masks;
+//! * [`ckpt_place`] — checkpoint placement synthesis: searches over
+//!   checkpoint sets, rejecting placements that are not provably
+//!   re-executable or exceed the capacitor WCEC ceiling, minimizing
+//!   expected backup energy, and emitting a machine-checkable
+//!   certificate (`NVP-E007`, `NVP-W005`, `NVP-I003`), driving
+//!   `nvp-lint --checkpoint`.
 //!
 //! Passes share a [`PassContext`] and report [`Diagnostic`]s with stable
 //! lint codes. [`analyze_program`] runs the default pipeline; the
@@ -57,9 +67,11 @@
 
 pub mod backup_liveness;
 pub mod cfg;
+pub mod ckpt_place;
 pub mod cost_model;
 pub mod dataflow;
 pub mod diag;
+pub mod dirty;
 pub mod error_bound;
 pub mod interval;
 pub mod lattice;
@@ -74,8 +86,10 @@ pub mod wcec_lint;
 
 pub use backup_liveness::{BackupLiveness, BackupLivenessPass};
 pub use cfg::Cfg;
+pub use ckpt_place::{synthesize, CkptOptions, CkptPass, PlacementEval, RegionCert, Synthesis};
 pub use cost_model::{CostModel, EnergyBudget};
-pub use diag::{Diagnostic, LintCode, Severity};
+pub use diag::{Diagnostic, Json, LintCode, Severity};
+pub use dirty::{dirty_report, dirty_report_at, DirtyAnalyzer, DirtyReport, MemDirty, RegionDirty};
 pub use error_bound::{dev_bound, solve_error_bounds, AbsVal, ApproxState, ErrorBoundAnalysis};
 pub use interval::Interval;
 pub use liveness::{liveness, Liveness};
@@ -85,8 +99,11 @@ pub use safe_bits::{
     bitwidth_report, static_floor, BitwidthPass, BitwidthReport, DeclaredBits, NEVER_SAFE,
 };
 pub use taint::TaintPass;
-pub use war::WarPass;
-pub use wcec::{wcec_report, Region, RegionKind, Wcec, WcecReport};
+pub use war::{region_hazards, WarPass};
+pub use wcec::{
+    checkpoint_kind, declared_checkpoints, wcec_report, wcec_report_at, Region, RegionKind, Wcec,
+    WcecReport,
+};
 pub use wcec_lint::WcecPass;
 
 use nvp_isa::Program;

@@ -138,6 +138,34 @@ impl Pass for WarPass {
     }
 }
 
+/// Runs the WAR fixpoint over one region (`entry` plus the pcs in
+/// `region`) and returns the pcs of non-idempotent writes, sorted.
+///
+/// This is the reusable core of [`check_war`]: placement synthesis
+/// ([`crate::ckpt_place`]) calls it per candidate region to decide
+/// re-executability, without committing to the marker-anchored region
+/// shape or the diagnostic text.
+pub fn region_hazards(program: &Program, cfg: &Cfg, entry: usize, region: &[usize]) -> Vec<usize> {
+    let sol = solve_region(program, cfg, &WarAnalysis, &[entry], Some(region));
+    let mut out = Vec::new();
+    for &pc in region {
+        let Some(s) = sol.before_at(pc) else { continue };
+        match program.fetch(pc) {
+            Some(Instr::St(a, _)) if s.exposed_abs.contains(&a) => out.push(pc),
+            Some(Instr::StInd(base, off, _)) => {
+                if let Some(sym) = s.sym(base, off) {
+                    if s.exposed_sym.contains(&sym) {
+                        out.push(pc);
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+    out.sort_unstable();
+    out
+}
+
 /// Runs the WAR-hazard pass directly, returning its diagnostics.
 pub fn check_war(program: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
     let mut out = Vec::new();
@@ -164,45 +192,24 @@ pub fn check_war(program: &Program, cfg: &Cfg) -> Vec<Diagnostic> {
             .into_iter()
             .filter(|&pc| !is_stop(pc))
             .collect();
-        let sol = solve_region(program, cfg, &WarAnalysis, &[entry], Some(&region));
-        for &pc in &region {
-            let Some(s) = sol.before_at(pc) else { continue };
-            match program.fetch(pc) {
-                Some(Instr::St(a, _)) if s.exposed_abs.contains(&a) => {
-                    out.push(
-                        Diagnostic::at(
-                            LintCode::WarHazard,
-                            pc,
-                            format!(
-                                "non-idempotent write: [{a}] was read earlier in the \
-                                 roll-forward region of marker #{id} (pc {marker_pc}); \
-                                 re-execution after an outage reads the overwritten value"
-                            ),
-                        )
-                        .with_context(program),
-                    );
-                }
-                Some(Instr::StInd(base, off, _)) => {
-                    if let Some(sym) = s.sym(base, off) {
-                        if s.exposed_sym.contains(&sym) {
-                            out.push(
-                                Diagnostic::at(
-                                    LintCode::WarHazard,
-                                    pc,
-                                    format!(
-                                        "non-idempotent write: [{base}{off:+}] was read earlier \
-                                         in the roll-forward region of marker #{id} \
-                                         (pc {marker_pc}); re-execution after an outage reads \
-                                         the overwritten value"
-                                    ),
-                                )
-                                .with_context(program),
-                            );
-                        }
-                    }
-                }
-                _ => {}
-            }
+        for pc in region_hazards(program, cfg, entry, &region) {
+            let what = match program.fetch(pc) {
+                Some(Instr::St(a, _)) => format!("[{a}]"),
+                Some(Instr::StInd(base, off, _)) => format!("[{base}{off:+}]"),
+                _ => unreachable!("hazards are stores"),
+            };
+            out.push(
+                Diagnostic::at(
+                    LintCode::WarHazard,
+                    pc,
+                    format!(
+                        "non-idempotent write: {what} was read earlier in the \
+                         roll-forward region of marker #{id} (pc {marker_pc}); \
+                         re-execution after an outage reads the overwritten value"
+                    ),
+                )
+                .with_context(program),
+            );
         }
     }
     out

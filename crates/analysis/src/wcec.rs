@@ -101,6 +101,9 @@ pub enum RegionKind {
     /// The instruction after a `frame_done`: a resumed run restarts behind
     /// the committed frame.
     PostFrame,
+    /// A checkpoint proposed by placement synthesis
+    /// ([`crate::ckpt_place`]) rather than declared by the program.
+    Synthetic,
 }
 
 impl fmt::Display for RegionKind {
@@ -109,6 +112,7 @@ impl fmt::Display for RegionKind {
             RegionKind::Entry => write!(f, "entry"),
             RegionKind::Resume(id) => write!(f, "resume#{id}"),
             RegionKind::PostFrame => write!(f, "post-frame"),
+            RegionKind::Synthetic => write!(f, "synth"),
         }
     }
 }
@@ -162,8 +166,11 @@ impl WcecReport {
     }
 }
 
-/// Is `pc` a checkpoint, and of what kind?
-fn checkpoint_kind(program: &Program, pc: usize) -> Option<RegionKind> {
+/// Is `pc` a *declared* checkpoint, and of what kind? The entry, every
+/// `mark_resume`, and the instruction after every `frame_done` are the pcs
+/// a power cycle can (re)enter at; placement synthesis may add
+/// [`RegionKind::Synthetic`] pcs on top of these.
+pub fn checkpoint_kind(program: &Program, pc: usize) -> Option<RegionKind> {
     if pc == 0 {
         return Some(RegionKind::Entry);
     }
@@ -335,7 +342,7 @@ fn shortest_dists(uf: &mut Contraction, edges: &[(usize, usize)], start: usize) 
 /// which is what lets `NVP-E006` treat "lower bound exceeds budget" as a
 /// proof rather than a suspicion.
 #[allow(clippy::too_many_arguments)] // internal solver; mirrors `solve` so the two stay diffable
-fn solve_min(
+pub(crate) fn solve_min(
     program: &Program,
     cfg: &Cfg,
     loops: &LoopReport,
@@ -467,7 +474,7 @@ fn solve_min(
 /// loop wrapped around a checkpoint contributes one traversal per region,
 /// not its whole trip count.
 #[allow(clippy::too_many_arguments)] // internal solver; mirrors `solve_min` so the two stay diffable
-fn solve(
+pub(crate) fn solve(
     program: &Program,
     cfg: &Cfg,
     loops: &LoopReport,
@@ -566,10 +573,30 @@ fn solve(
     longest_path(&mut uf, &edges, start_pc)
 }
 
+/// Every declared checkpoint of `program`, sorted by pc.
+pub fn declared_checkpoints(program: &Program) -> Vec<(usize, RegionKind)> {
+    (0..program.len())
+        .filter_map(|pc| checkpoint_kind(program, pc).map(|k| (pc, k)))
+        .collect()
+}
+
 /// Computes the full WCEC certificate of `program` at the governor
 /// bitwidth of `cost` (loop bounds are re-derived at that bitwidth, since
 /// AC noise widens counter intervals).
 pub fn wcec_report(program: &Program, cfg: &Cfg, cost: &CostModel) -> WcecReport {
+    wcec_report_at(program, cfg, cost, &declared_checkpoints(program))
+}
+
+/// [`wcec_report`] over an *explicit* checkpoint set — the entry point
+/// placement synthesis uses to price candidate placements. `checkpoints`
+/// must be sorted by pc and include pc 0; regions are cut at exactly
+/// these pcs (the declared set is ignored).
+pub fn wcec_report_at(
+    program: &Program,
+    cfg: &Cfg,
+    cost: &CostModel,
+    checkpoints: &[(usize, RegionKind)],
+) -> WcecReport {
     let loops = loop_report(program, cfg, cost.bits);
     let len = program.len();
 
@@ -599,15 +626,16 @@ pub fn wcec_report(program: &Program, cfg: &Cfg, cost: &CostModel) -> WcecReport
         ))
     };
 
-    // Checkpoints, then one region per checkpoint.
-    let checkpoints: Vec<(usize, RegionKind)> = (0..len)
-        .filter_map(|pc| checkpoint_kind(program, pc).map(|k| (pc, k)))
-        .collect();
-    let is_checkpoint: Vec<bool> = (0..len)
-        .map(|pc| checkpoint_kind(program, pc).is_some())
-        .collect();
+    // One region per checkpoint.
+    let mut is_checkpoint = vec![false; len];
+    for &(pc, _) in checkpoints {
+        if pc < len {
+            is_checkpoint[pc] = true;
+        }
+    }
     let regions = checkpoints
-        .into_iter()
+        .iter()
+        .copied()
         .map(|(start_pc, kind)| {
             let pcs = cfg.reachable_until(start_pc, |pc| pc != start_pc && is_checkpoint[pc]);
             let mut active = vec![false; len];

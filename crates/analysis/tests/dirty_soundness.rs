@@ -1,0 +1,242 @@
+//! Empirical soundness of the static dirty-set analysis: walk real VM
+//! executions and check that every register and memory word actually
+//! written between two checkpoint crossings is contained in the static
+//! dirty set of the region entered at the last crossing.
+//!
+//! This is the contract `BackupScope::LiveDirty` leans on — a backup that
+//! skips a register or word outside the mask is only correct if no
+//! execution of the region can have written it. The harness checks the
+//! declared placement, the synthesized placement (exercising
+//! [`RegionKind::Synthetic`] regions and the explicit-checkpoint path),
+//! and every shipped kernel, across governor bitwidths.
+
+use nvp_analysis::{
+    declared_checkpoints, dirty_report_at, synthesize, Cfg, CkptOptions, DirtyReport, RegionKind,
+};
+use nvp_isa::{Instr, Program, ProgramBuilder, Reg, StepEvent, Vm};
+use nvp_kernels::KernelId;
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+const MEM_WORDS: usize = 256;
+const STEP_CAP: u64 = 500_000;
+const PRECISE: [Reg; 4] = [Reg(0), Reg(1), Reg(2), Reg(3)];
+const AC: [Reg; 4] = [Reg(12), Reg(13), Reg(14), Reg(15)];
+
+/// Builds a multi-region program from encoded random ops: a straight-line
+/// prefix with an optional mid-program resume point, a bounded loop whose
+/// body both accumulates in AC registers and stores through a
+/// loop-carried index, a frame commit, and a short post-frame tail (so
+/// every [`RegionKind`] shows up). The vocabulary includes absolute
+/// stores, indirect stores off a constant base (interval-boundable) and
+/// indirect stores off a loaded base (statically unboundable — the region
+/// must degrade to a whole-memory bound, never drop the write).
+fn build(raw: &[u32], trip: u32, ckpt_at: usize) -> Program {
+    let mut b = ProgramBuilder::new();
+    for r in AC {
+        b.mark_ac(r);
+    }
+    b.approx_region(100, 200);
+    b.mark_resume(0);
+    let ckpt_at = ckpt_at % raw.len().max(1);
+    let op = |b: &mut ProgramBuilder, word: u32, precise: &[Reg]| {
+        let p = precise[(word >> 8) as usize % precise.len()];
+        let a = AC[(word >> 16) as usize % 4];
+        let a2 = AC[(word >> 24) as usize % 4];
+        match word % 8 {
+            0 => b.ldi(p, (word >> 3) as i32 % 256),
+            1 => b.addi(p, p, (word >> 5) as i32 % 16),
+            2 => b.add(a, a, a2),
+            3 => b.ld(a, 100 + (word >> 4) % 50),
+            4 => b.st(150 + (word >> 4) % 50, a),
+            5 => {
+                // Indirect store off a constant base: the interval domain
+                // can bound the address set exactly.
+                b.ldi(p, 150 + (word >> 4) as i32 % 40);
+                b.st_ind(p, (word >> 10) as i32 % 10, a)
+            }
+            6 => {
+                // Indirect store off a *loaded* base: statically
+                // unboundable, so the region's memory bound must widen to
+                // whole-memory rather than miss the write. (Initial data
+                // memory is zeroed, so the dynamic address stays in
+                // range.)
+                b.ld(p, 100 + (word >> 4) % 50);
+                b.st_ind(p, 150 + (word >> 10) as i32 % 40, a)
+            }
+            _ => b.muli(a, a, (word >> 6) as i32 % 8),
+        };
+    };
+    for (i, &word) in raw.iter().enumerate() {
+        if i == ckpt_at && i != 0 {
+            b.mark_resume(1);
+        }
+        op(&mut b, word, &PRECISE);
+    }
+    // Bounded loop: mem[200 + c] = accumulator, for c in 0..trip.
+    let c = PRECISE[0];
+    let n = PRECISE[1];
+    let idx = PRECISE[2];
+    b.ldi(c, 0).ldi(n, trip as i32);
+    let head = b.label();
+    b.place(head);
+    // The body op only gets r3: clobbering the counter, bound, or index
+    // register would break termination or addressing.
+    op(&mut b, raw[raw.len() / 2], &[PRECISE[3]]);
+    b.addi(idx, c, 200)
+        .st_ind(idx, 0, AC[0])
+        .addi(c, c, 1)
+        .brlt(c, n, head);
+    b.frame_done();
+    // Post-frame tail: writes landing in the PostFrame region.
+    b.ldi(c, 7).st(249, c);
+    b.halt();
+    b.build().expect("generated program must assemble")
+}
+
+/// Walks `program` to completion, tracking the most recently crossed
+/// checkpoint, and checks every dynamic write against that region's
+/// static dirty set. Errors carry the offending pc for the proptest
+/// failure message.
+fn check_sound(
+    program: &Program,
+    report: &DirtyReport,
+    checkpoints: &[(usize, RegionKind)],
+) -> Result<(), String> {
+    let mut vm = Vm::new(program.clone(), MEM_WORDS);
+    let mut current = 0usize;
+    for _ in 0..STEP_CAP {
+        let pc = vm.pc();
+        if checkpoints.iter().any(|&(cp, _)| cp == pc) {
+            current = pc;
+        }
+        let Some(instr) = vm.peek() else {
+            return Ok(());
+        };
+        let region = report
+            .regions
+            .iter()
+            .find(|r| r.start_pc == current)
+            .ok_or_else(|| format!("no region starting at pc {current}"))?;
+        if let Some(d) = instr.dst() {
+            if region.dirty_regs & (1u16 << d.0) == 0 {
+                return Err(format!(
+                    "pc {pc}: r{} written but not in dirty regs {:#06x} of region @{current}",
+                    d.0, region.dirty_regs
+                ));
+            }
+        }
+        let store_addr = match instr {
+            Instr::St(a, _) => Some(i64::from(a)),
+            Instr::StInd(base, off, _) => Some(i64::from(vm.reg(base, 0)) + i64::from(off)),
+            _ => None,
+        };
+        if let Some(a) = store_addr {
+            let addr = u32::try_from(a).map_err(|_| format!("pc {pc}: store addr {a} negative"))?;
+            if !region.mem.contains(addr) {
+                return Err(format!(
+                    "pc {pc}: store to {addr} outside dirty memory of region @{current}"
+                ));
+            }
+        }
+        match vm.step() {
+            Ok(StepEvent::Halted) => return Ok(()),
+            Ok(_) => {}
+            Err(e) => return Err(format!("pc {pc}: vm fault {e:?}")),
+        }
+    }
+    Err(format!("did not halt within {STEP_CAP} steps"))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Declared placement: every dynamic write lands inside the static
+    /// dirty set of the region entered at the last checkpoint crossing.
+    #[test]
+    fn declared_regions_contain_all_dynamic_writes(
+        raw in vec(any::<u32>(), 1..32),
+        trip in 1u32..20,
+        ckpt_at in 0usize..32,
+        bits in 1u8..=8,
+    ) {
+        let p = build(&raw, trip, ckpt_at);
+        let cfg = Cfg::build(&p);
+        let ckpts = declared_checkpoints(&p);
+        let report = dirty_report_at(&p, &cfg, bits, MEM_WORDS, &ckpts);
+        let r = check_sound(&p, &report, &ckpts);
+        prop_assert!(r.is_ok(), "{}\n{}", r.unwrap_err(), p.disassemble());
+    }
+
+    /// Synthesized placement: the same containment holds for the
+    /// checkpoint set the placement optimizer picks, including its
+    /// synthetic regions.
+    #[test]
+    fn synthesized_regions_contain_all_dynamic_writes(
+        raw in vec(any::<u32>(), 1..32),
+        trip in 1u32..20,
+        ckpt_at in 0usize..32,
+    ) {
+        let p = build(&raw, trip, ckpt_at);
+        let cfg = Cfg::build(&p);
+        let opts = CkptOptions { mem_words: MEM_WORDS, ..Default::default() };
+        let synth = synthesize(&p, &cfg, &opts);
+        let ckpts = synth.synthesized.checkpoints.clone();
+        let report = dirty_report_at(&p, &cfg, opts.bits_lo, MEM_WORDS, &ckpts);
+        let r = check_sound(&p, &report, &ckpts);
+        prop_assert!(r.is_ok(), "{}\n{}", r.unwrap_err(), p.disassemble());
+    }
+}
+
+/// The shipped kernels are the programs the masks actually protect: check
+/// containment on full runs at the governor's bitwidth extremes.
+#[test]
+fn every_kernel_write_is_contained_in_its_dirty_region() {
+    for bits in [1u8, 8] {
+        for id in KernelId::ALL {
+            let (w, h) = id.min_dims();
+            let spec = id.spec(w, h);
+            let cfg = Cfg::build(&spec.program);
+            let ckpts = declared_checkpoints(&spec.program);
+            let report = dirty_report_at(&spec.program, &cfg, bits, spec.mem_words, &ckpts);
+            let mut vm = Vm::new(spec.program.clone(), spec.mem_words);
+            let mut current = 0usize;
+            for _ in 0..5_000_000u64 {
+                let pc = vm.pc();
+                if ckpts.iter().any(|&(cp, _)| cp == pc) {
+                    current = pc;
+                }
+                let Some(instr) = vm.peek() else { break };
+                let region = report
+                    .regions
+                    .iter()
+                    .find(|r| r.start_pc == current)
+                    .unwrap_or_else(|| panic!("{}: no region @{current}", id.name()));
+                if let Some(d) = instr.dst() {
+                    assert!(
+                        region.dirty_regs & (1u16 << d.0) != 0,
+                        "{} at {bits}b pc {pc}: r{} not in dirty set of region @{current}",
+                        id.name(),
+                        d.0
+                    );
+                }
+                let store_addr = match instr {
+                    Instr::St(a, _) => Some(i64::from(a)),
+                    Instr::StInd(b, off, _) => Some(i64::from(vm.reg(b, 0)) + i64::from(off)),
+                    _ => None,
+                };
+                if let Some(a) = store_addr {
+                    assert!(
+                        region.mem.contains(a as u32),
+                        "{} at {bits}b pc {pc}: store to {a} outside region @{current}",
+                        id.name()
+                    );
+                }
+                if vm.step().expect("kernel VMs do not fault") == StepEvent::Halted {
+                    break;
+                }
+            }
+            assert!(vm.halted(), "{} did not halt", id.name());
+        }
+    }
+}

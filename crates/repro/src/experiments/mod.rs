@@ -4,6 +4,7 @@
 //! Table 2, and the unnumbered Section 2.2 / 3.2 / 7 results get named
 //! functions (`waitcompute`, `backup_cost`, `frametime`).
 
+pub mod ckptx;
 pub mod dynamicw;
 pub mod nvmx;
 pub mod overall;
@@ -15,6 +16,7 @@ pub mod retention;
 pub mod visual;
 pub mod wcecx;
 
+pub use ckptx::ckpt;
 pub use dynamicw::{fig18, fig19, fig20, fig21};
 pub use nvmx::{fig4, fig5};
 pub use overall::{
@@ -172,6 +174,7 @@ pub fn all(scale: Scale) -> Vec<Table> {
     out.extend(fig14(scale));
     out.extend(safebits(scale));
     out.extend(wcec(scale));
+    out.extend(ckpt(scale));
     out.extend(fig15(scale));
     out.extend(fig16(scale));
     out.extend(fig18(scale));

@@ -29,6 +29,10 @@ const EXPERIMENTS: &[(&str, &str)] = &[
         "wcec",
         "per-region WCEC certificates and block-engine equivalence (nvp-lint --energy)",
     ),
+    (
+        "ckpt",
+        "checkpoint placement synthesis and backup scopes (nvp-lint --checkpoint)",
+    ),
     ("fig15", "forward progress vs bitwidth"),
     ("fig16", "backup count vs bitwidth"),
     ("fig18", "dynamic bitwidth utilization (covers figs 17-18)"),
@@ -258,11 +262,22 @@ fn perf_report(
         "block_budget   step {step_s:>7.3}s  block {block_s:>7.3}s  \
          speedup {bb_speedup:>5.2}x  identical={bb_identical}"
     );
+    // Backup-energy saved per scope on bursty power (median, single lane).
+    let (bs_full, bs_live, bs_dirty, bs_plan, bs_reconciled) =
+        experiments::ckptx::backup_scope_savings(scale);
+    all_identical &= bs_reconciled;
+    eprintln!(
+        "backup_scope   full {bs_full:>9.1} nJ  saved live {bs_live:.1}  \
+         dirty {bs_dirty:.1}  plan {bs_plan:.1}  reconciled={bs_reconciled}"
+    );
     let json = format!(
         "{{\n  \"jobs\": {jobs},\n  \"host_cpus\": {},\n  \"scale\": {{\"trace_seconds\": {}, \
          \"img\": {}, \"frames\": {}}},\n  \"experiments\": [{entries}\n  ],\n  \
          \"block_budget\": {{\"step_s\": {step_s:.6}, \"block_s\": {block_s:.6}, \
          \"speedup\": {bb_speedup:.4}, \"identical\": {bb_identical}}},\n  \
+         \"backup_scope\": {{\"full_nj\": {bs_full:.3}, \"saved_live_nj\": {bs_live:.3}, \
+         \"saved_dirty_nj\": {bs_dirty:.3}, \"saved_plan_nj\": {bs_plan:.3}, \
+         \"reconciled\": {bs_reconciled}}},\n  \
          \"total_serial_s\": {total_serial:.6},\n  \"total_parallel_s\": {total_parallel:.6},\n  \
          \"total_speedup\": {:.4},\n  \"all_identical\": {all_identical}\n}}\n",
         nvp_exec::available_parallelism(),
@@ -294,6 +309,7 @@ fn run_experiment(name: &str, scale: Scale, ablate: bool) -> Option<Vec<Table>> 
         "fig13" | "fig14" => e::fig14(scale),
         "safebits" => e::safebits(scale),
         "wcec" => e::wcec(scale),
+        "ckpt" => e::ckpt(scale),
         "fig15" => e::fig15(scale),
         "fig16" => e::fig16(scale),
         "fig17" | "fig18" => e::fig18(scale),

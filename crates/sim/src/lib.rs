@@ -36,7 +36,7 @@ pub use energy::EnergyModel;
 pub use governor::{Governor, StaticBitsFloor};
 pub use quickrun::{instructions_per_frame, run_fixed};
 pub use system::{
-    BackupScope, CommittedFrame, ExecEngine, ExecMode, IncidentalSetup, RunReport, SystemConfig,
-    SystemSim,
+    BackupScope, CheckpointPlan, CommittedFrame, ExecEngine, ExecMode, IncidentalSetup, RunReport,
+    SystemConfig, SystemSim,
 };
 pub use waitcompute::{WaitComputeReport, WaitComputeSim};

@@ -14,7 +14,7 @@ use crate::governor::{BitsTracker, Governor, StaticBitsFloor};
 use crate::resume::{PendingFrame, ResumeController, PARK_SLOTS};
 use nvp_analysis::BackupLiveness;
 use nvp_isa::approx::FULL_BITS;
-use nvp_isa::{ApproxConfig, StepEvent, Vm};
+use nvp_isa::{ApproxConfig, StepEvent, Vm, NUM_REGS};
 use nvp_kernels::KernelSpec;
 use nvp_nvm::backup::decay_region_traced;
 use nvp_nvm::RetentionPolicy;
@@ -224,6 +224,30 @@ pub enum BackupScope {
     /// every path, so skipping it cannot change execution; the data-word
     /// portion of the backup cost scales with the live fraction.
     LiveOnly,
+    /// Persist only state that is both live *and* provably written since
+    /// the last checkpoint crossing (`live ∩ dirty`,
+    /// [`nvp_analysis::dirty`]): clean state already persists from the
+    /// previous crossing, so rewriting it buys nothing. Masks come from
+    /// [`SystemConfig::checkpoint_plan`] when one is supplied; otherwise
+    /// the simulator synthesizes a placement
+    /// ([`nvp_analysis::ckpt_place`]) at construction. A pc outside the
+    /// mask table degrades that backup to full state and traces a
+    /// `backup_scope_fallback` warning.
+    LiveDirty,
+}
+
+/// An explicit checkpoint placement for the simulator to honor, as
+/// synthesized by `nvp_analysis::ckpt_place` (or hand-written).
+///
+/// The plan only scopes backup *costs* — the program's resume markers
+/// and recovery semantics are untouched, so a planned run must commit
+/// outputs identical to a full-state run.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CheckpointPlan {
+    /// Checkpoint pcs, sorted (informational; recorded in certificates).
+    pub checkpoints: Vec<usize>,
+    /// Per-pc `live ∩ dirty` backup masks (index = pc, bit per register).
+    pub masks: Vec<u16>,
 }
 
 /// System configuration (capacitor, thresholds, energy model, policy).
@@ -269,6 +293,10 @@ pub struct SystemConfig {
     /// Capacitor-check scheduling (results are identical either way).
     #[serde(default)]
     pub exec_engine: ExecEngine,
+    /// Explicit checkpoint placement overriding the masks
+    /// `BackupScope::LiveDirty` synthesizes (None = synthesize).
+    #[serde(default)]
+    pub checkpoint_plan: Option<CheckpointPlan>,
 }
 
 impl Default for SystemConfig {
@@ -290,6 +318,7 @@ impl Default for SystemConfig {
             seed: 0x5EED,
             static_bits_floor: StaticBitsFloor::default(),
             exec_engine: ExecEngine::default(),
+            checkpoint_plan: None,
         }
     }
 }
@@ -330,6 +359,10 @@ pub struct SystemSim {
     class_cache: Option<(ApproxConfig, [Energy; 6])>,
     /// Per-pc live register sets (drives `BackupScope::LiveOnly`).
     backup_liveness: BackupLiveness,
+    /// Per-pc `live ∩ dirty` masks (drives `BackupScope::LiveDirty`): the
+    /// supplied [`CheckpointPlan`]'s table, else a placement synthesized
+    /// at construction when the scope needs one.
+    dirty_masks: Option<Vec<u16>>,
     /// Resolved static safe-bits floor (1 = no clamp).
     static_floor: u8,
     rng: SmallRng,
@@ -370,6 +403,26 @@ impl SystemSim {
             ResumeController::with_capacity(spec.program.loop_var_mask(), cfg.park_slots as usize);
         let rng = SmallRng::seed_from_u64(cfg.seed);
         let backup_liveness = BackupLiveness::compute(&spec.program);
+        // LiveDirty masks: honor an explicit plan; otherwise synthesize a
+        // placement. The declared placement of the shipped kernels is one
+        // whole-program region (a single resume marker at pc 0), under
+        // which every live register is also dirty — synthesizing is what
+        // makes LiveDirty strictly cheaper than LiveOnly.
+        let dirty_masks = match (&cfg.checkpoint_plan, cfg.backup_scope) {
+            (Some(plan), _) => Some(plan.masks.clone()),
+            (None, BackupScope::LiveDirty) => {
+                let acfg = nvp_analysis::Cfg::build(&spec.program);
+                let (bits_lo, bits_hi) = spec.id.declared_bits();
+                let opts = nvp_analysis::CkptOptions {
+                    bits_lo,
+                    bits_hi,
+                    mem_words: spec.mem_words,
+                    ..Default::default()
+                };
+                Some(nvp_analysis::synthesize(&spec.program, &acfg, &opts).synthesized.masks)
+            }
+            _ => None,
+        };
         let mut block_suffix = vec![([0u32; 6], 0u32); spec.program.len()];
         for blk in nvp_analysis::Cfg::build(&spec.program).blocks() {
             let mut counts = [0u32; 6];
@@ -408,6 +461,7 @@ impl SystemSim {
             block_suffix,
             class_cache: None,
             backup_liveness,
+            dirty_masks,
             static_floor,
             rng,
             report: RunReport::default(),
@@ -583,14 +637,34 @@ impl SystemSim {
             reserve_nj: self.reserve().as_nj(),
         });
         let full = self.backup_cost();
-        let (cost, saved, live_fraction) = match self.cfg.backup_scope {
-            BackupScope::FullState => (full, Energy::ZERO, 1.0),
-            BackupScope::LiveOnly => {
-                // Scale the data-word portion of the backup by the live
-                // register fraction at the interruption point. The reserve
-                // is still sized for the full cost, so the scoped cost
-                // always fits (`scoped <= full`).
-                let frac = self.backup_liveness.live_fraction(self.vm.pc());
+        let pc = self.vm.pc();
+        // Scoped modes back up the fraction of data state their per-pc
+        // mask keeps; a pc the mask table does not cover degrades to a
+        // full-state backup with a traced warning (graceful degradation
+        // beats silently under-persisting).
+        let frac = match self.cfg.backup_scope {
+            BackupScope::FullState => None,
+            BackupScope::LiveOnly => (pc < self.spec.program.len())
+                .then(|| self.backup_liveness.live_fraction(pc)),
+            BackupScope::LiveDirty => self
+                .dirty_masks
+                .as_ref()
+                .and_then(|m| m.get(pc))
+                .map(|&mask| f64::from(mask.count_ones()) / NUM_REGS as f64),
+        };
+        if frac.is_none() && self.cfg.backup_scope != BackupScope::FullState {
+            emit(tracer, || Event::BackupScopeFallback {
+                tick,
+                pc: pc as u64,
+            });
+        }
+        let (cost, saved, live_fraction) = match frac {
+            None => (full, Energy::ZERO, 1.0),
+            Some(frac) => {
+                // Scale the data-word portion of the backup by the kept
+                // fraction at the interruption point. The reserve is still
+                // sized for the full cost, so the scoped cost always fits
+                // (`scoped <= full`).
                 let bits = self.live_data_bits().clamp(1, FULL_BITS);
                 let mut scoped =
                     self.cfg
@@ -1025,7 +1099,9 @@ impl SystemSim {
     /// Event ordering contract (relied upon by `nvp-trace` and the
     /// ordering-invariant tests):
     ///
-    /// - power emergency: `power_emergency`, `energy_flush`, `backup`,
+    /// - power emergency: `power_emergency`, an optional
+    ///   `backup_scope_fallback` (scoped backup whose mask table does not
+    ///   cover the interruption pc), `energy_flush`, `backup`,
     ///   `outage_start` — all at the same tick;
     /// - recovery: `energy_flush`, `outage_end`, zero or more
     ///   `retention_decay`, zero or more `frame_parked` /
@@ -1252,6 +1328,203 @@ mod tests {
         assert!(
             avg_live < avg_full,
             "live-only backups must be cheaper on average: {avg_live} !< {avg_full}"
+        );
+    }
+
+    /// The synthesized checkpoint plan for `id`, as `LiveDirty` would
+    /// compute it internally.
+    fn synthesized_plan(id: KernelId, w: usize, h: usize) -> CheckpointPlan {
+        let spec = id.spec(w, h);
+        let acfg = nvp_analysis::Cfg::build(&spec.program);
+        let (bits_lo, bits_hi) = id.declared_bits();
+        let opts = nvp_analysis::CkptOptions {
+            bits_lo,
+            bits_hi,
+            mem_words: spec.mem_words,
+            ..Default::default()
+        };
+        let synth = nvp_analysis::synthesize(&spec.program, &acfg, &opts);
+        CheckpointPlan {
+            checkpoints: synth
+                .synthesized
+                .checkpoints
+                .iter()
+                .map(|&(pc, _)| pc)
+                .collect(),
+            masks: synth.synthesized.masks,
+        }
+    }
+
+    #[test]
+    fn live_dirty_backup_scope_beats_live_only_on_bursty() {
+        // Bursty power, full retention, Precise mode: LiveDirty must
+        // commit the identical (golden) output while saving strictly more
+        // backup energy than LiveOnly — the dirty intersection can only
+        // shrink the mask.
+        let id = KernelId::Median;
+        let run = |scope: BackupScope, plan: Option<CheckpointPlan>| {
+            let spec = id.spec(16, 16);
+            let frames = small_frames(id, 16, 16, 1);
+            let pattern: Vec<f64> = (0..100_000)
+                .map(|i| if i % 150 < 12 { 800.0 } else { 0.0 })
+                .collect();
+            let cfg = SystemConfig {
+                frames_limit: Some(1),
+                backup_scope: scope,
+                checkpoint_plan: plan,
+                ..Default::default()
+            };
+            let sim = SystemSim::new(spec, frames, ExecMode::Precise, cfg);
+            sim.run(&PowerProfile::from_uw(pattern))
+        };
+        let full = run(BackupScope::FullState, None);
+        let live = run(BackupScope::LiveOnly, None);
+        let dirty = run(BackupScope::LiveDirty, None);
+        let planned = run(
+            BackupScope::LiveDirty,
+            Some(synthesized_plan(id, 16, 16)),
+        );
+        assert!(full.backups > 0, "need emergencies to compare scopes");
+        let golden = id.golden(&small_frames(id, 16, 16, 1)[0], 16, 16);
+        for (name, rep) in [
+            ("full", &full),
+            ("live", &live),
+            ("dirty", &dirty),
+            ("planned", &planned),
+        ] {
+            assert_eq!(
+                rep.outputs_for(0)[0].output,
+                golden,
+                "{name}: backup scope must not change committed results"
+            );
+        }
+        assert!(live.energy_backup_saved > Energy::ZERO);
+        assert!(
+            dirty.energy_backup_saved > live.energy_backup_saved,
+            "live∩dirty must save more than live alone: {} !> {}",
+            dirty.energy_backup_saved.as_nj(),
+            live.energy_backup_saved.as_nj()
+        );
+        // The explicit synthesized plan is exactly what LiveDirty
+        // synthesizes on its own.
+        assert_eq!(planned.energy_backup, dirty.energy_backup);
+        assert_eq!(planned.energy_backup_saved, dirty.energy_backup_saved);
+    }
+
+    #[test]
+    fn scoped_backup_scopes_are_output_identical_across_profiles() {
+        // All four scopes, five watch profiles. Cheaper backups leave more
+        // residual energy, so the emergency *schedule* legitimately shifts;
+        // what must not change is the committed output values (Precise mode
+        // is deterministic) and the ledger: spend + saved must equal what
+        // the same backups would have cost at full scope. With a single
+        // lane and Precise bits the full cost per backup is a constant, so
+        // the implied per-backup full cost must match the reference run's.
+        let id = KernelId::Tiff2Bw;
+        let plan = synthesized_plan(id, 8, 8);
+        for profile in nvp_power::synth::WatchProfile::ALL {
+            let trace = profile.synthesize_seconds(2.0);
+            let run = |scope: BackupScope, plan: Option<CheckpointPlan>| {
+                let cfg = SystemConfig {
+                    backup_scope: scope,
+                    checkpoint_plan: plan,
+                    max_simd_lanes: 1,
+                    ..Default::default()
+                };
+                SystemSim::new(
+                    id.spec(8, 8),
+                    small_frames(id, 8, 8, 2),
+                    ExecMode::Precise,
+                    cfg,
+                )
+                .run(&trace)
+            };
+            let full = run(BackupScope::FullState, None);
+            let live = run(BackupScope::LiveOnly, None);
+            let dirty = run(BackupScope::LiveDirty, None);
+            let planned = run(BackupScope::LiveDirty, Some(plan.clone()));
+            assert!(full.backups > 0, "{profile:?}: need emergencies");
+            let frames = small_frames(id, 8, 8, 2);
+            let full_per_backup = full.energy_backup.as_nj() / full.backups as f64;
+            for (name, rep) in [("live", &live), ("dirty", &dirty), ("planned", &planned)] {
+                assert!(
+                    rep.frames_committed > 0,
+                    "{name}@{profile:?}: scoped run made no progress"
+                );
+                for c in &rep.committed {
+                    let golden = id
+                        .golden(&frames[c.input_index as usize % frames.len()], 8, 8);
+                    assert_eq!(
+                        c.output, golden,
+                        "{name}@{profile:?}: scope changed frame {} output",
+                        c.input_index
+                    );
+                }
+                // Ledger reconciliation: spend + saved == backups × the
+                // constant full-scope cost per backup.
+                let implied =
+                    (rep.energy_backup.as_nj() + rep.energy_backup_saved.as_nj())
+                        / rep.backups as f64;
+                assert!(
+                    (implied - full_per_backup).abs() < 1e-9,
+                    "{name}@{profile:?}: ledger does not reconcile: \
+                     implied {implied} nJ/backup vs full {full_per_backup}"
+                );
+                assert!(
+                    rep.energy_backup_saved > Energy::ZERO,
+                    "{name}@{profile:?}: scoped backups saved nothing"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn missing_masks_fall_back_to_full_state_with_traced_warning() {
+        // An (erroneous) empty mask table must not change results: every
+        // scoped backup degrades to full state, and the trace says so.
+        let id = KernelId::Median;
+        let run = |plan: Option<CheckpointPlan>, scope: BackupScope| {
+            let spec = id.spec(16, 16);
+            let frames = small_frames(id, 16, 16, 1);
+            let pattern: Vec<f64> = (0..100_000)
+                .map(|i| if i % 150 < 12 { 800.0 } else { 0.0 })
+                .collect();
+            let cfg = SystemConfig {
+                frames_limit: Some(1),
+                backup_scope: scope,
+                checkpoint_plan: plan,
+                ..Default::default()
+            };
+            let mut sink = nvp_trace::VecSink::default();
+            let rep = SystemSim::new(spec, frames, ExecMode::Precise, cfg)
+                .run_traced(&PowerProfile::from_uw(pattern), &mut sink);
+            (rep, sink.events)
+        };
+        let empty_plan = CheckpointPlan {
+            checkpoints: Vec::new(),
+            masks: Vec::new(),
+        };
+        let (full, full_events) = run(None, BackupScope::FullState);
+        let (degraded, degraded_events) = run(Some(empty_plan), BackupScope::LiveDirty);
+        assert!(full.backups > 0);
+        assert_eq!(degraded.backups, full.backups);
+        assert_eq!(degraded.outputs_for(0)[0].output, full.outputs_for(0)[0].output);
+        // Degraded backups cost exactly what full-state ones do.
+        assert_eq!(degraded.energy_backup, full.energy_backup);
+        assert_eq!(degraded.energy_backup_saved, Energy::ZERO);
+        let fallbacks = degraded_events
+            .iter()
+            .filter(|e| matches!(e, Event::BackupScopeFallback { .. }))
+            .count();
+        assert_eq!(
+            fallbacks as u64, degraded.backups,
+            "every scoped backup must trace its degradation"
+        );
+        assert!(
+            !full_events
+                .iter()
+                .any(|e| matches!(e, Event::BackupScopeFallback { .. })),
+            "full-state backups are not degradations"
         );
     }
 

@@ -76,6 +76,14 @@ pub enum Event {
         /// The backup reserve that was violated, nJ.
         reserve_nj: f64,
     },
+    /// A scoped backup (`LiveOnly`/`LiveDirty`) found no mask for the
+    /// interruption pc and degraded to a full-state backup.
+    BackupScopeFallback {
+        /// Tick of the backup that degraded.
+        tick: u64,
+        /// Interruption pc the mask table had no entry for.
+        pc: u64,
+    },
     /// A backup was performed.
     Backup {
         /// Tick of the backup.
@@ -237,6 +245,8 @@ pub enum EventKind {
     ThresholdCross,
     /// [`Event::PowerEmergency`].
     PowerEmergency,
+    /// [`Event::BackupScopeFallback`].
+    BackupScopeFallback,
     /// [`Event::Backup`].
     Backup,
     /// [`Event::OutageStart`].
@@ -267,10 +277,11 @@ pub enum EventKind {
 
 impl EventKind {
     /// Every kind, in schema order.
-    pub const ALL: [EventKind; 16] = [
+    pub const ALL: [EventKind; 17] = [
         EventKind::RunStart,
         EventKind::ThresholdCross,
         EventKind::PowerEmergency,
+        EventKind::BackupScopeFallback,
         EventKind::Backup,
         EventKind::OutageStart,
         EventKind::OutageEnd,
@@ -295,6 +306,7 @@ impl EventKind {
             EventKind::RunStart => "run_start",
             EventKind::ThresholdCross => "threshold_cross",
             EventKind::PowerEmergency => "power_emergency",
+            EventKind::BackupScopeFallback => "backup_scope_fallback",
             EventKind::Backup => "backup",
             EventKind::OutageStart => "outage_start",
             EventKind::OutageEnd => "outage_end",
@@ -330,6 +342,7 @@ impl Event {
             Event::RunStart { .. } => EventKind::RunStart,
             Event::ThresholdCross { .. } => EventKind::ThresholdCross,
             Event::PowerEmergency { .. } => EventKind::PowerEmergency,
+            Event::BackupScopeFallback { .. } => EventKind::BackupScopeFallback,
             Event::Backup { .. } => EventKind::Backup,
             Event::OutageStart { .. } => EventKind::OutageStart,
             Event::OutageEnd { .. } => EventKind::OutageEnd,
@@ -352,6 +365,7 @@ impl Event {
             Event::RunStart { tick, .. }
             | Event::ThresholdCross { tick, .. }
             | Event::PowerEmergency { tick, .. }
+            | Event::BackupScopeFallback { tick, .. }
             | Event::Backup { tick, .. }
             | Event::OutageStart { tick }
             | Event::OutageEnd { tick, .. }
@@ -398,6 +412,10 @@ impl Event {
                 w.num("t", *tick as f64);
                 w.num("level_nj", *level_nj);
                 w.num("reserve_nj", *reserve_nj);
+            }
+            Event::BackupScopeFallback { tick, pc } => {
+                w.num("t", *tick as f64);
+                w.num("pc", *pc as f64);
             }
             Event::Backup {
                 tick,
@@ -557,6 +575,10 @@ impl Event {
                 tick: t,
                 level_nj: fields.num_field("level_nj")?,
                 reserve_nj: fields.num_field("reserve_nj")?,
+            },
+            EventKind::BackupScopeFallback => Event::BackupScopeFallback {
+                tick: t,
+                pc: fields.u64_field("pc")?,
             },
             EventKind::Backup => Event::Backup {
                 tick: t,
@@ -910,6 +932,7 @@ mod tests {
                 level_nj: 410.25,
                 reserve_nj: 409.0,
             },
+            Event::BackupScopeFallback { tick: 40, pc: 23 },
             Event::Backup {
                 tick: 40,
                 cost_nj: 372.1234567890123,
