@@ -23,8 +23,7 @@
 use nvp_analysis::diag::render_legend;
 use nvp_analysis::{
     analyze_program, analyze_with, bitwidth_report, AnalysisConfig, Cfg, CkptPass, DeclaredBits,
-    Diagnostic, Json, LintCode, Pass, PassContext, Severity, TripBound, Wcec, WcecPass,
-    NEVER_SAFE,
+    Diagnostic, Json, LintCode, Pass, PassContext, Severity, TripBound, Wcec, WcecPass, NEVER_SAFE,
 };
 use nvp_kernels::KernelId;
 use std::process::ExitCode;
@@ -511,24 +510,18 @@ fn run_energy_report(verbose: bool, json_path: Option<&str>) -> ExitCode {
                                             .iter()
                                             .map(|l| {
                                                 let mut o = Json::obj();
-                                                o.set(
-                                                    "head_pc",
-                                                    Json::Num(l.head_pc(&cfg) as f64),
-                                                )
-                                                .set(
-                                                    "bound",
-                                                    match l.bound {
-                                                        TripBound::Bounded(n) => {
-                                                            Json::Num(n as f64)
-                                                        }
-                                                        TripBound::Unbounded => Json::Null,
-                                                    },
-                                                )
-                                                .set(
-                                                    "min_bound",
-                                                    Json::Num(l.min_bound as f64),
-                                                )
-                                                .set("stride", Json::Num(l.stride as f64));
+                                                o.set("head_pc", Json::Num(l.head_pc(&cfg) as f64))
+                                                    .set(
+                                                        "bound",
+                                                        match l.bound {
+                                                            TripBound::Bounded(n) => {
+                                                                Json::Num(n as f64)
+                                                            }
+                                                            TripBound::Unbounded => Json::Null,
+                                                        },
+                                                    )
+                                                    .set("min_bound", Json::Num(l.min_bound as f64))
+                                                    .set("stride", Json::Num(l.stride as f64));
                                                 o
                                             })
                                             .collect(),

@@ -34,8 +34,8 @@ use crate::diag::{Diagnostic, Json, LintCode};
 use crate::dirty::{DirtyAnalyzer, MemDirty};
 use crate::loop_bound::{loop_report, LoopReport, TripBound};
 use crate::safe_bits::DeclaredBits;
-use crate::wcec::{declared_checkpoints, solve, solve_min, RegionKind};
 use crate::war::region_hazards;
+use crate::wcec::{declared_checkpoints, solve, solve_min, RegionKind};
 use crate::{Pass, PassContext};
 use nvp_isa::{Instr, Program, NUM_REGS};
 
@@ -261,7 +261,11 @@ fn evaluate(
     let scoped = |mask: u16| {
         opts.budget
             .model
-            .backup_energy_scoped(policy, cost_hi.bits, f64::from(mask.count_ones()) / NUM_REGS as f64)
+            .backup_energy_scoped(
+                policy,
+                cost_hi.bits,
+                f64::from(mask.count_ones()) / NUM_REGS as f64,
+            )
             .as_nj()
     };
     let weight_total: f64 = weights.iter().sum::<f64>().max(1.0);
@@ -439,9 +443,7 @@ fn placement_json(e: &PlacementEval) -> Json {
                         )
                         .set(
                             "hazard_pcs",
-                            Json::Arr(
-                                r.hazard_pcs.iter().map(|&p| Json::Num(p as f64)).collect(),
-                            ),
+                            Json::Arr(r.hazard_pcs.iter().map(|&p| Json::Num(p as f64)).collect()),
                         )
                         .set(
                             "wcec_hi_nj",

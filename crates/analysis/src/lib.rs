@@ -73,6 +73,7 @@ pub mod dataflow;
 pub mod diag;
 pub mod dirty;
 pub mod error_bound;
+pub mod hints;
 pub mod interval;
 pub mod lattice;
 pub mod liveness;
@@ -91,6 +92,7 @@ pub use cost_model::{CostModel, EnergyBudget};
 pub use diag::{Diagnostic, Json, LintCode, Severity};
 pub use dirty::{dirty_report, dirty_report_at, DirtyAnalyzer, DirtyReport, MemDirty, RegionDirty};
 pub use error_bound::{dev_bound, solve_error_bounds, AbsVal, ApproxState, ErrorBoundAnalysis};
+pub use hints::compile_hints;
 pub use interval::Interval;
 pub use liveness::{liveness, Liveness};
 pub use loop_bound::{find_loops, loop_report, LoopReport, NaturalLoop, TripBound};

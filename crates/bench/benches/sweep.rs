@@ -13,7 +13,10 @@ use nvp_kernels::KernelId;
 use nvp_power::{Power, PowerProfile, Ticks};
 use nvp_repro::dims;
 use nvp_repro::experiments as e;
-use nvp_sim::{instructions_per_frame, run_fixed, ExecEngine, ExecMode, SystemConfig, SystemSim};
+use nvp_sim::{
+    instructions_per_frame, run_fixed, run_fixed_compiled, ExecEngine, ExecMode, SystemConfig,
+    SystemSim,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -108,11 +111,39 @@ fn bench_vm_block_budget(c: &mut Criterion) {
     g.finish();
 }
 
+fn bench_vm_compiled(c: &mut Criterion) {
+    let mut g = c.benchmark_group("vm_compiled");
+    g.sample_size(20);
+    g.measurement_time(Duration::from_secs(2));
+    g.warm_up_time(Duration::from_millis(500));
+    // The vm_step workload under both dispatch engines: `step` is the
+    // fetch/decode interpreter, `compiled` runs the pre-decoded
+    // superinstruction table (fused decode, hoisted bounds checks —
+    // outputs are identical, crates/sim/tests/compiled_lockstep.rs).
+    // Median's compare-exchange network fuses into 12-wide records and
+    // shows the ceiling; Sobel's mixed body is the typical case.
+    for id in [KernelId::Median, KernelId::Sobel] {
+        let (w, h) = dims(id, 16);
+        let spec = id.spec(w, h);
+        let input = id.make_input(w, h, 0x51);
+        let compiled = nvp_sim::compile_kernel(&spec.program, spec.mem_words);
+        g.throughput(Throughput::Elements(instructions_per_frame(&spec, &input)));
+        g.bench_function(format!("{}_frame_step", id.name()), |b| {
+            b.iter(|| run_fixed(&spec, &input, ApproxConfig::default(), 1))
+        });
+        g.bench_function(format!("{}_frame_compiled", id.name()), |b| {
+            b.iter(|| run_fixed_compiled(&spec, &input, ApproxConfig::default(), 1, &compiled))
+        });
+    }
+    g.finish();
+}
+
 criterion_group!(
     benches,
     bench_sweep_scaling,
     bench_pool_overhead,
     bench_vm_step,
-    bench_vm_block_budget
+    bench_vm_block_budget,
+    bench_vm_compiled
 );
 criterion_main!(benches);

@@ -354,6 +354,15 @@ mod tests {
         let ran_flags: Vec<Arc<AtomicBool>> = (0..JOBS)
             .map(|_| Arc::new(AtomicBool::new(false)))
             .collect();
+        // Workers pop their own deque LIFO, so with 64 jobs dealt
+        // round-robin over 4 deques the first wave is jobs 60..=63 (each
+        // deque's back). Job 60 panics; the other first-wave jobs spin on
+        // the `panicked` flag instead of sleeping a fixed time. No matter
+        // how the host schedules the workers — including a single-core box
+        // running them in sequence — jobs 0..=59 provably sit unstarted in
+        // their deques when the panic lands, so there is always something
+        // to cancel. The deadline is a hang escape only, not a timing knob.
+        let panicked = Arc::new(AtomicBool::new(false));
         let mut set = JobSet::new();
         for (i, ran) in ran_flags.iter().enumerate() {
             let probe = Probe {
@@ -361,14 +370,17 @@ mod tests {
                 ran: ran.clone(),
                 cancelled: cancelled.clone(),
             };
+            let panicked = panicked.clone();
             set.push(move || {
                 probe.ran.store(true, Ordering::SeqCst);
-                if probe.index == 3 {
+                if probe.index == 60 {
+                    panicked.store(true, Ordering::SeqCst);
                     panic!("worker down");
                 }
-                // Keep the other workers busy so plenty of jobs are still
-                // queued when the panic lands.
-                std::thread::sleep(std::time::Duration::from_millis(2));
+                let deadline = std::time::Instant::now() + std::time::Duration::from_secs(10);
+                while !panicked.load(Ordering::SeqCst) && std::time::Instant::now() < deadline {
+                    std::thread::yield_now();
+                }
             });
         }
         let result = std::panic::catch_unwind(AssertUnwindSafe(|| set.run(4)));

@@ -39,6 +39,7 @@
 
 pub mod analysis;
 pub mod approx;
+pub mod compiled;
 pub mod encoding;
 pub mod energy;
 pub mod instr;
@@ -50,6 +51,7 @@ pub use analysis::{
     analyze, verify_ac_isolation, verify_ac_isolation_with, AcViolation, ProgramStats,
 };
 pub use approx::{alu_approximate, alu_error_bound, mem_error_bound, mem_truncate, ApproxConfig};
+pub use compiled::{ChainEvent, CompileHints, CompiledProgram};
 pub use encoding::{decode_program, encode_program, DecodeError};
 pub use energy::{ClassEnergies, EnergyModel};
 pub use instr::{Instr, InstrClass, Reg, NUM_REGS};

@@ -48,6 +48,21 @@ impl RegFile {
         self.regs[r.index()][v] = value;
     }
 
+    /// Lane-0 read with the register index masked to the file size. Used
+    /// by the compiled engine's hot loop, whose operands were validated
+    /// `< NUM_REGS` once at decode time — the mask lets the optimiser
+    /// drop the per-access bounds check without changing behaviour.
+    #[inline]
+    pub(crate) fn read0(&self, r: Reg) -> i32 {
+        self.regs[(r.0 as usize) % NUM_REGS][0]
+    }
+
+    /// Lane-0 write counterpart of [`RegFile::read0`].
+    #[inline]
+    pub(crate) fn write0(&mut self, r: Reg, value: i32) {
+        self.regs[(r.0 as usize) % NUM_REGS][0] = value;
+    }
+
     /// Writes the same value to versions `0..lanes`.
     #[inline]
     pub fn write_broadcast(&mut self, r: Reg, lanes: usize, value: i32) {

@@ -120,19 +120,19 @@ pub struct ArchSnapshot {
 /// instead of deep-cloning the instruction stream per run.
 #[derive(Debug, Clone)]
 pub struct Vm {
-    program: Arc<Program>,
-    pc: usize,
-    regs: RegFile,
-    mem: VersionedMemory,
-    cfg: ApproxConfig,
-    halted: bool,
+    pub(crate) program: Arc<Program>,
+    pub(crate) pc: usize,
+    pub(crate) regs: RegFile,
+    pub(crate) mem: VersionedMemory,
+    pub(crate) cfg: ApproxConfig,
+    pub(crate) halted: bool,
     /// Per-lane running minimum of ALU bits since the last approximate
     /// store — the hardware precision tracker feeding the 3-bit precision
     /// metadata (Section 4's "3 bits for each data" tracking).
     bits_floor: [u8; 4],
     rng_state: u64,
-    instructions_retired: u64,
-    cycles_elapsed: u64,
+    pub(crate) instructions_retired: u64,
+    pub(crate) cycles_elapsed: u64,
 }
 
 impl Vm {
@@ -272,7 +272,7 @@ impl Vm {
     }
 
     #[inline]
-    fn lanes(&self) -> usize {
+    pub(crate) fn lanes(&self) -> usize {
         self.cfg.lanes as usize
     }
 
@@ -285,7 +285,7 @@ impl Vm {
     /// Writes an ALU result to `d` on every lane, applying per-lane ALU
     /// approximation when the destination is AC-marked.
     #[inline]
-    fn write_alu<F: Fn(&RegFile, usize) -> i32>(&mut self, d: Reg, f: F) {
+    pub(crate) fn write_alu<F: Fn(&RegFile, usize) -> i32>(&mut self, d: Reg, f: F) {
         let lanes = self.lanes();
         let approx = self.cfg.ac_en && self.is_ac(d);
         for l in 0..lanes {
@@ -306,8 +306,16 @@ impl Vm {
         }
     }
 
+    /// Disjoint mutable borrows of the register file and data memory, for
+    /// the compiled engine's switch-dispatch loop (which keeps the pc and
+    /// retirement counters in locals and needs both state halves at once).
     #[inline]
-    fn check_addr(&self, pc: usize, addr: i64) -> Result<usize, VmError> {
+    pub(crate) fn split_mut(&mut self) -> (&mut RegFile, &mut VersionedMemory) {
+        (&mut self.regs, &mut self.mem)
+    }
+
+    #[inline]
+    pub(crate) fn check_addr(&self, pc: usize, addr: i64) -> Result<usize, VmError> {
         if addr < 0 || addr as usize >= self.mem.len() {
             Err(VmError::MemFault { pc, addr })
         } else {
@@ -324,7 +332,7 @@ impl Vm {
     }
 
     #[inline]
-    fn do_load(&mut self, d: Reg, addr: usize) {
+    pub(crate) fn do_load(&mut self, d: Reg, addr: usize) {
         for l in 0..self.lanes() {
             let v = self.mem.read(addr, l);
             self.regs.write(d, l, v);
@@ -332,7 +340,7 @@ impl Vm {
     }
 
     #[inline]
-    fn do_store(&mut self, addr: usize, s: Reg) {
+    pub(crate) fn do_store(&mut self, addr: usize, s: Reg) {
         let approx = self.cfg.ac_en && self.in_approx_region(addr) && self.is_ac(s);
         for l in 0..self.lanes() {
             let v = self.regs.read(s, l);

@@ -30,11 +30,13 @@ impl VersionedWord {
     /// # Panics
     ///
     /// Panics if `version >= 4`.
+    #[inline]
     pub fn value(&self, version: usize) -> i32 {
         self.values[version]
     }
 
     /// Precision tag (bits of significance, 0–8) of `version`.
+    #[inline]
     pub fn precision(&self, version: usize) -> u8 {
         self.precision[version]
     }
@@ -44,6 +46,7 @@ impl VersionedWord {
     /// # Panics
     ///
     /// Panics if `version >= 4` or `precision > 8`.
+    #[inline]
     pub fn set(&mut self, version: usize, value: i32, precision: u8) {
         assert!(
             precision <= MAX_PRECISION,
@@ -116,6 +119,7 @@ impl VersionedMemory {
     }
 
     /// Number of words.
+    #[inline]
     pub fn len(&self) -> usize {
         self.words.len()
     }
@@ -130,16 +134,19 @@ impl VersionedMemory {
     /// # Panics
     ///
     /// Panics if `addr` or `version` is out of range.
+    #[inline]
     pub fn read(&self, addr: usize, version: usize) -> i32 {
         self.words[addr].value(version)
     }
 
     /// Precision tag of `addr` in `version`.
+    #[inline]
     pub fn precision(&self, addr: usize, version: usize) -> u8 {
         self.words[addr].precision(version)
     }
 
     /// Writes `value` with `precision` into `addr` of `version`.
+    #[inline]
     pub fn write(&mut self, addr: usize, version: usize, value: i32, precision: u8) {
         self.words[addr].set(version, value, precision);
     }

@@ -19,12 +19,14 @@
 //! which is what makes result caching in `nvp-serve` sound.
 
 use crate::dims;
+use nvp_isa::CompiledProgram;
 use nvp_kernels::{KernelId, KernelSpec};
 use nvp_power::synth::WatchProfile;
 use nvp_power::PowerProfile;
-use nvp_sim::{ExecMode, RunReport, SystemConfig, SystemSim};
+use nvp_sim::{compile_kernel, ExecEngine, ExecMode, RunReport, SystemConfig, SystemSim};
 use nvp_trace::Tracer;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 /// A lazily-initialized keyed memo table shared across threads.
@@ -68,6 +70,33 @@ pub fn frames_for(id: KernelId, img: usize, frames: usize) -> Frames {
         .clone()
 }
 
+/// Number of superinstruction-table compilations performed process-wide.
+/// Every [`compiled_for`] miss bumps it; hits do not. `nvp-serve` exports
+/// it as `nvp_compile_total`, making cache effectiveness observable.
+static COMPILE_COUNT: AtomicU64 = AtomicU64::new(0);
+
+/// How many kernel programs have been compiled to superinstruction tables
+/// since process start (cache misses only — a well-warmed service stays
+/// flat at one per distinct kernel × dimensions).
+pub fn compile_count() -> u64 {
+    COMPILE_COUNT.load(Ordering::Relaxed)
+}
+
+/// Compiles (or fetches) the superinstruction table for a kernel at given
+/// frame dimensions, shared behind an `Arc` by every simulation of that
+/// kernel — a sweep of a thousand runs pays for one compilation.
+pub fn compiled_for(id: KernelId, w: usize, h: usize) -> Arc<CompiledProgram> {
+    static CACHE: Memo<(KernelId, usize, usize), Arc<CompiledProgram>> = OnceLock::new();
+    lock_memo(&CACHE)
+        .entry((id, w, h))
+        .or_insert_with(|| {
+            COMPILE_COUNT.fetch_add(1, Ordering::Relaxed);
+            let spec = cached_spec(id, w, h);
+            Arc::new(compile_kernel(&spec.program, spec.mem_words))
+        })
+        .clone()
+}
+
 /// Synthesizes (or fetches) a watch profile's power trace.
 pub fn synth_profile(profile: WatchProfile, seconds: f64) -> Arc<PowerProfile> {
     static CACHE: Memo<(WatchProfile, u64), Arc<PowerProfile>> = OnceLock::new();
@@ -98,6 +127,9 @@ pub struct RunRequest {
     pub profile: WatchProfile,
     /// NVP variant to simulate.
     pub mode: ExecMode,
+    /// Capacitor-check scheduling engine (results are identical across
+    /// engines; this only selects how the run loop dispatches).
+    pub engine: ExecEngine,
     /// RNG seed for retention decay.
     pub seed: u64,
 }
@@ -108,6 +140,7 @@ impl RunRequest {
         SystemConfig {
             record_outputs: false,
             seed: self.seed,
+            exec_engine: self.engine,
             ..Default::default()
         }
     }
@@ -119,7 +152,10 @@ impl RunRequest {
         let spec = cached_spec(self.kernel, w, h);
         let frames = frames_for(self.kernel, self.img, self.frames);
         let trace = synth_profile(self.profile, self.trace_seconds);
-        let sim = SystemSim::new(spec, frames, self.mode, self.config());
+        let mut sim = SystemSim::new(spec, frames, self.mode, self.config());
+        if self.engine == ExecEngine::Compiled {
+            sim.set_compiled(compiled_for(self.kernel, w, h));
+        }
         (sim, trace)
     }
 }
@@ -152,6 +188,7 @@ mod tests {
             trace_seconds: 0.3,
             profile: WatchProfile::P1,
             mode: ExecMode::Precise,
+            engine: ExecEngine::default(),
             seed: 0x5EED,
         }
     }
@@ -171,6 +208,27 @@ mod tests {
         let p1 = synth_profile(WatchProfile::P2, 0.25);
         let p2 = synth_profile(WatchProfile::P2, 0.25);
         assert!(Arc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn compiled_memo_shares_one_table_and_counts_misses() {
+        let c1 = compiled_for(KernelId::Median, 8, 8);
+        let after_miss = compile_count();
+        let c2 = compiled_for(KernelId::Median, 8, 8);
+        assert!(Arc::ptr_eq(&c1, &c2), "memo must hand out one shared table");
+        assert!(after_miss >= 1, "the miss must be counted");
+        // Concurrent tests may compile other kernels, so only monotonicity
+        // is observable here; the hit itself adds nothing for this key.
+        assert!(compile_count() >= after_miss);
+    }
+
+    #[test]
+    fn engines_agree_on_reports() {
+        let step = simulate(&req());
+        for engine in [ExecEngine::BlockBudget, ExecEngine::Compiled] {
+            let r = simulate(&RunRequest { engine, ..req() });
+            assert_eq!(step, r, "{engine:?} diverged from Step");
+        }
     }
 
     #[test]

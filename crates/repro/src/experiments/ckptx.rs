@@ -145,11 +145,17 @@ pub fn backup_scope_savings(scale: Scale) -> (f64, f64, f64, f64, bool) {
     let id = KernelId::Median;
     let plan = plan_for(id, scale);
     let run = |scope: BackupScope, plan: Option<CheckpointPlan>| {
-        run_system_on(id, scale, &profile, ExecMode::Precise, |c: &mut SystemConfig| {
-            c.backup_scope = scope;
-            c.checkpoint_plan = plan;
-            c.max_simd_lanes = 1;
-        })
+        run_system_on(
+            id,
+            scale,
+            &profile,
+            ExecMode::Precise,
+            |c: &mut SystemConfig| {
+                c.backup_scope = scope;
+                c.checkpoint_plan = plan;
+                c.max_simd_lanes = 1;
+            },
+        )
     };
     let full = run(BackupScope::FullState, None);
     let live = run(BackupScope::LiveOnly, None);
@@ -158,8 +164,7 @@ pub fn backup_scope_savings(scale: Scale) -> (f64, f64, f64, f64, bool) {
     let per_backup = full.energy_backup.as_nj() / (full.backups.max(1)) as f64;
     let reconciled = [&live, &dirty, &planned].iter().all(|r| {
         r.backups == 0
-            || ((r.energy_backup.as_nj() + r.energy_backup_saved.as_nj())
-                / r.backups as f64
+            || ((r.energy_backup.as_nj() + r.energy_backup_saved.as_nj()) / r.backups as f64
                 - per_backup)
                 .abs()
                 < 1e-9

@@ -35,7 +35,7 @@ use crate::{dims, Scale, Table};
 use nvp_kernels::KernelId;
 use nvp_power::synth::WatchProfile;
 use nvp_power::PowerProfile;
-use nvp_sim::{ExecMode, RunReport, SystemConfig, SystemSim};
+use nvp_sim::{ExecEngine, ExecMode, RunReport, SystemConfig, SystemSim};
 use nvp_trace::{Event, JsonlBufSink, Tracer};
 use std::io::Write;
 use std::path::PathBuf;
@@ -57,6 +57,22 @@ pub fn set_trace_path(path: Option<PathBuf>) {
 /// Whether a `--trace` destination is currently set.
 pub(crate) fn trace_enabled() -> bool {
     TRACE_PATH.lock().expect("trace path lock").is_some()
+}
+
+/// Default capacitor-check engine for experiment runs. Set once by the
+/// CLI's `--engine` flag; experiments that compare engines explicitly
+/// (their `tweak` sets `exec_engine`) still win over this default.
+static ENGINE: Mutex<ExecEngine> = Mutex::new(ExecEngine::Step);
+
+/// Selects the engine every subsequent [`run_system`] / [`run_system_on`]
+/// call starts from.
+pub fn set_engine(engine: ExecEngine) {
+    *ENGINE.lock().expect("engine lock") = engine;
+}
+
+/// The engine currently selected by [`set_engine`].
+pub(crate) fn default_engine() -> ExecEngine {
+    *ENGINE.lock().expect("engine lock")
 }
 
 /// Appends pre-rendered JSONL text to the trace file (the sweep engine's
@@ -132,12 +148,18 @@ pub(crate) fn run_system(
     let frames = make_frames(id, scale);
     let mut cfg = SystemConfig {
         record_outputs: false,
+        exec_engine: default_engine(),
         ..Default::default()
     };
     tweak(&mut cfg);
     let trace = synth_profile(profile, scale.trace_seconds);
     let label = format!("{id:?}/{profile:?}/{}", mode_tag(&mode));
-    run_maybe_traced(SystemSim::new(spec, frames, mode, cfg), &trace, label)
+    let engine = cfg.exec_engine;
+    let mut sim = SystemSim::new(spec, frames, mode, cfg);
+    if engine == ExecEngine::Compiled {
+        sim.set_compiled(crate::catalog::compiled_for(id, w, h));
+    }
+    run_maybe_traced(sim, &trace, label)
 }
 
 /// Like [`run_system`] but over an explicit trace.
@@ -153,11 +175,17 @@ pub(crate) fn run_system_on(
     let frames = make_frames(id, scale);
     let mut cfg = SystemConfig {
         record_outputs: false,
+        exec_engine: default_engine(),
         ..Default::default()
     };
     tweak(&mut cfg);
     let label = format!("{id:?}/custom/{}", mode_tag(&mode));
-    run_maybe_traced(SystemSim::new(spec, frames, mode, cfg), trace, label)
+    let engine = cfg.exec_engine;
+    let mut sim = SystemSim::new(spec, frames, mode, cfg);
+    if engine == ExecEngine::Compiled {
+        sim.set_compiled(crate::catalog::compiled_for(id, w, h));
+    }
+    run_maybe_traced(sim, trace, label)
 }
 
 /// Every experiment in paper order; used by `repro all`.

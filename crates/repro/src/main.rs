@@ -73,11 +73,21 @@ fn main() -> ExitCode {
     let mut trace_path: Option<PathBuf> = None;
     let mut perf_out: Option<PathBuf> = None;
     let mut ablate = false;
+    let mut engine: Option<nvp_sim::ExecEngine> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--quick" => quick = true,
             "--ablate" => ablate = true,
+            "--engine" => match it.next().as_deref() {
+                Some("step") => engine = Some(nvp_sim::ExecEngine::Step),
+                Some("block") => engine = Some(nvp_sim::ExecEngine::BlockBudget),
+                Some("compiled") => engine = Some(nvp_sim::ExecEngine::Compiled),
+                _ => {
+                    eprintln!("--engine requires one of: step, block, compiled");
+                    return ExitCode::FAILURE;
+                }
+            },
             "--jobs" => match it.next().and_then(|n| n.parse::<usize>().ok()) {
                 Some(n) if n >= 1 => jobs = n,
                 _ => {
@@ -131,6 +141,9 @@ fn main() -> ExitCode {
         return ExitCode::FAILURE;
     }
     let scale = if quick { Scale::quick() } else { Scale::full() }.with_jobs(jobs);
+    if let Some(e) = engine {
+        experiments::set_engine(e);
+    }
     if let Some(p) = &perf_out {
         // Perf mode: time each experiment serial vs parallel, check the
         // outputs match, and write a JSON report instead of the tables.
@@ -262,6 +275,35 @@ fn perf_report(
         "block_budget   step {step_s:>7.3}s  block {block_s:>7.3}s  \
          speedup {bb_speedup:>5.2}x  identical={bb_identical}"
     );
+    // And the compiled superinstruction engine: once on the same
+    // system-level workload, once per frame at the vm_step bench shape.
+    let (cstep_s, comp_s, comp_identical) = experiments::wcecx::compiled_timing(scale);
+    let comp_speedup = cstep_s / comp_s.max(1e-9);
+    all_identical &= comp_identical;
+    eprintln!(
+        "compiled       step {cstep_s:>7.3}s  compiled {comp_s:>7.3}s  \
+         speedup {comp_speedup:>5.2}x  identical={comp_identical}"
+    );
+    let mut frame_entries = String::new();
+    for (id, fstep_s, fcomp_s, equal) in experiments::wcecx::compiled_frame_timing() {
+        all_identical &= equal;
+        let speedup = fstep_s / fcomp_s.max(1e-9);
+        eprintln!(
+            "compiled frame {:<8} step {:>8.1}us  compiled {:>8.1}us  \
+             speedup {speedup:>5.2}x  identical={equal}",
+            format!("{id:?}"),
+            fstep_s * 1e6,
+            fcomp_s * 1e6,
+        );
+        if !frame_entries.is_empty() {
+            frame_entries.push_str(", ");
+        }
+        frame_entries.push_str(&format!(
+            "{{\"kernel\": \"{}\", \"step_s\": {fstep_s:.9}, \"compiled_s\": {fcomp_s:.9}, \
+             \"speedup\": {speedup:.4}, \"identical\": {equal}}}",
+            id.name(),
+        ));
+    }
     // Backup-energy saved per scope on bursty power (median, single lane).
     let (bs_full, bs_live, bs_dirty, bs_plan, bs_reconciled) =
         experiments::ckptx::backup_scope_savings(scale);
@@ -275,6 +317,9 @@ fn perf_report(
          \"img\": {}, \"frames\": {}}},\n  \"experiments\": [{entries}\n  ],\n  \
          \"block_budget\": {{\"step_s\": {step_s:.6}, \"block_s\": {block_s:.6}, \
          \"speedup\": {bb_speedup:.4}, \"identical\": {bb_identical}}},\n  \
+         \"compiled\": {{\"step_s\": {cstep_s:.6}, \"compiled_s\": {comp_s:.6}, \
+         \"speedup\": {comp_speedup:.4}, \"identical\": {comp_identical}, \
+         \"frames\": [{frame_entries}]}},\n  \
          \"backup_scope\": {{\"full_nj\": {bs_full:.3}, \"saved_live_nj\": {bs_live:.3}, \
          \"saved_dirty_nj\": {bs_dirty:.3}, \"saved_plan_nj\": {bs_plan:.3}, \
          \"reconciled\": {bs_reconciled}}},\n  \
@@ -335,13 +380,17 @@ fn usage() {
     eprintln!("repro — regenerate the MICRO'17 incidental-computing evaluation");
     eprintln!();
     eprintln!(
-        "usage: repro <experiment>... [--quick] [--jobs N] [--csv DIR] [--out DIR] [--ablate] [--trace FILE]"
+        "usage: repro <experiment>... [--quick] [--jobs N] [--engine E] [--csv DIR] [--out DIR] [--ablate] [--trace FILE]"
     );
     eprintln!("       repro all [--quick] [--csv DIR] [--perf-out FILE]");
     eprintln!("       repro list");
     eprintln!();
     eprintln!(
         "  --jobs N      worker threads for parameter sweeps (default: all cores; 1 = serial)"
+    );
+    eprintln!(
+        "  --engine E    capacitor-check engine: step (reference), block, or compiled \
+         (results are identical; only speed differs)"
     );
     eprintln!("  --perf-out F  time each experiment serial vs parallel, write a JSON report");
     eprintln!();

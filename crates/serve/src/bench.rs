@@ -344,8 +344,12 @@ impl BenchReport {
                 ])
             })
             .collect();
+        let host_cpus = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         Json::obj(vec![
             ("bench", Json::str("nvp-serve")),
+            ("host_cpus", Json::Num(host_cpus as f64)),
             ("phases", Json::Arr(phases)),
             (
                 "speedup_hot_over_cold",

@@ -21,7 +21,7 @@ use nvp_isa::ApproxConfig;
 use nvp_kernels::KernelId;
 use nvp_power::synth::WatchProfile;
 use nvp_repro::catalog::RunRequest;
-use nvp_sim::{ExecMode, Governor, IncidentalSetup};
+use nvp_sim::{ExecEngine, ExecMode, Governor, IncidentalSetup};
 use std::fmt;
 
 /// A request the service refuses, with the offending field.
@@ -165,6 +165,10 @@ pub struct SimKey {
     pub profile: WatchProfile,
     /// NVP variant.
     pub mode: ModeSpec,
+    /// Capacitor-check scheduling engine. Results are engine-invariant,
+    /// but the field is kept in the key so responses can be attributed and
+    /// the engines benchmarked against each other through the service.
+    pub engine: ExecEngine,
     /// Retention-decay RNG seed.
     pub seed: u64,
     /// Whether the response streams the run's JSONL trace back (changes
@@ -193,6 +197,7 @@ impl SimKey {
             None => ModeSpec::Precise,
             Some(v) => ModeSpec::parse(v)?,
         };
+        let engine = parse_engine(body)?;
         let seed = match body.get("seed") {
             None => 0x5EED,
             Some(v) => v
@@ -212,6 +217,7 @@ impl SimKey {
             trace_ms,
             profile,
             mode,
+            engine,
             seed,
             trace,
         })
@@ -221,13 +227,14 @@ impl SimKey {
     /// render equal strings.
     pub fn canonical(&self) -> String {
         format!(
-            "run/kernel={}&img={}&frames={}&ms={}&profile=p{}&mode={}&seed={}&trace={}",
+            "run/kernel={}&img={}&frames={}&ms={}&profile=p{}&mode={}&engine={}&seed={}&trace={}",
             self.kernel.name(),
             self.img,
             self.frames,
             self.trace_ms,
             self.profile.index(),
             self.mode.canonical(),
+            engine_tag(self.engine),
             self.seed,
             u8::from(self.trace),
         )
@@ -242,8 +249,40 @@ impl SimKey {
             trace_seconds: self.trace_ms as f64 / 1000.0,
             profile: self.profile,
             mode: self.mode.exec_mode(),
+            engine: self.engine,
             seed: self.seed,
         }
+    }
+}
+
+/// Canonical wire spelling of an execution engine, used in cache keys,
+/// response bodies and `/metrics` labels.
+pub fn engine_tag(engine: ExecEngine) -> &'static str {
+    match engine {
+        ExecEngine::Step => "step",
+        ExecEngine::BlockBudget => "block",
+        ExecEngine::Compiled => "compiled",
+    }
+}
+
+/// Parses the optional `engine` field: `"step"`, `"block"` or
+/// `"compiled"`. The served default is the compiled engine — results are
+/// engine-invariant and it is the cheapest way to answer a cold request.
+fn parse_engine(body: &Json) -> Result<ExecEngine, BadRequest> {
+    let Some(value) = body.get("engine") else {
+        return Ok(ExecEngine::Compiled);
+    };
+    let name = value
+        .as_str()
+        .ok_or_else(|| BadRequest::new("engine", "must be a string"))?;
+    match name.to_ascii_lowercase().as_str() {
+        "step" => Ok(ExecEngine::Step),
+        "block" => Ok(ExecEngine::BlockBudget),
+        "compiled" => Ok(ExecEngine::Compiled),
+        other => Err(BadRequest::new(
+            "engine",
+            format!("unknown engine '{other}' (want step|block|compiled)"),
+        )),
     }
 }
 
@@ -373,6 +412,7 @@ impl SweepSpec {
         let img = parse_bounded(body, "img", limits::IMG, 12)?;
         let frames = parse_bounded(body, "frames", limits::FRAMES, 2)?;
         let trace_ms = parse_trace_ms(body)?;
+        let engine = parse_engine(body)?;
         let seed = match body.get("seed") {
             None => 0x5EED,
             Some(v) => v
@@ -397,6 +437,7 @@ impl SweepSpec {
                         trace_ms,
                         profile,
                         mode,
+                        engine,
                         seed,
                         trace: false,
                     });
@@ -426,8 +467,22 @@ mod tests {
         assert_eq!(a.canonical(), b.canonical());
         assert_eq!(
             a.canonical(),
-            "run/kernel=sobel&img=12&frames=2&ms=1500&profile=p1&mode=fixed:4&seed=24301&trace=0"
+            "run/kernel=sobel&img=12&frames=2&ms=1500&profile=p1&mode=fixed:4&engine=compiled&seed=24301&trace=0"
         );
+    }
+
+    #[test]
+    fn engine_defaults_to_compiled_and_changes_the_key() {
+        let default = parse_run(r#"{"kernel":"sobel"}"#).unwrap();
+        assert_eq!(default.engine, ExecEngine::Compiled);
+        let explicit = parse_run(r#"{"kernel":"sobel","engine":"Compiled"}"#).unwrap();
+        assert_eq!(default, explicit, "spelling is case-insensitive");
+        let step = parse_run(r#"{"kernel":"sobel","engine":"step"}"#).unwrap();
+        assert_eq!(step.engine, ExecEngine::Step);
+        assert_ne!(default.canonical(), step.canonical());
+        assert!(step.canonical().contains("&engine=step&"));
+        let block = parse_run(r#"{"kernel":"sobel","engine":"block"}"#).unwrap();
+        assert_eq!(block.run_request().engine, ExecEngine::BlockBudget);
     }
 
     #[test]
@@ -453,6 +508,8 @@ mod tests {
                 r#"{"kernel":"sobel","mode":{"dynamic":{"minbits":6,"maxbits":2}}}"#,
                 "mode",
             ),
+            (r#"{"kernel":"sobel","engine":"jit"}"#, "engine"),
+            (r#"{"kernel":"sobel","engine":7}"#, "engine"),
             (r#"{"kernel":"sobel","seed":-1}"#, "seed"),
             (r#"{"kernel":"sobel","trace":"yes"}"#, "trace"),
             (r#"[1,2]"#, "body"),

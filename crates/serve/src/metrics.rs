@@ -109,6 +109,12 @@ pub struct Metrics {
     pub coalesced: AtomicU64,
     /// Simulations actually executed by the pool.
     pub simulations: AtomicU64,
+    /// Executed simulations that ran on the step engine.
+    pub runs_step: AtomicU64,
+    /// Executed simulations that ran on the block-budget engine.
+    pub runs_block: AtomicU64,
+    /// Executed simulations that ran on the compiled engine.
+    pub runs_compiled: AtomicU64,
     /// End-to-end latency of `/v1/run` requests.
     pub run_latency: LatencyHistogram,
     /// Folded trace summaries of every simulation served.
@@ -160,9 +166,19 @@ impl Metrics {
             ("nvp_cache_misses_total", &self.cache_misses),
             ("nvp_coalesced_total", &self.coalesced),
             ("nvp_simulations_total", &self.simulations),
+            ("nvp_runs_engine_step_total", &self.runs_step),
+            ("nvp_runs_engine_block_total", &self.runs_block),
+            ("nvp_runs_engine_compiled_total", &self.runs_compiled),
         ] {
             line(name, read(counter).to_string());
         }
+        // Superinstruction-table compilations (the `compile` phase): the
+        // catalog memo makes this flat at one per kernel × dimensions, and
+        // comparing it against the compiled-run count shows cache health.
+        line(
+            "nvp_compile_total",
+            nvp_repro::catalog::compile_count().to_string(),
+        );
         line("nvp_queue_depth", queue_depth.to_string());
         line("nvp_cache_entries", cache_len.to_string());
         line(
@@ -243,5 +259,18 @@ mod tests {
         assert!(text.contains("nvp_queue_depth 3\n"));
         assert!(text.contains("nvp_cache_entries 7\n"));
         assert!(text.contains("nvp_sim_events_total 0\n"));
+        assert!(text.contains("nvp_compile_total "));
+    }
+
+    #[test]
+    fn per_engine_run_counters_render_independently() {
+        let m = Metrics::default();
+        bump(&m.runs_compiled);
+        bump(&m.runs_compiled);
+        bump(&m.runs_step);
+        let text = m.render(0, 0);
+        assert!(text.contains("nvp_runs_engine_step_total 1\n"));
+        assert!(text.contains("nvp_runs_engine_block_total 0\n"));
+        assert!(text.contains("nvp_runs_engine_compiled_total 2\n"));
     }
 }

@@ -387,6 +387,11 @@ fn admit(
 /// cached and computed paths byte-identical by construction.
 fn render_run_body(inner: &Arc<Inner>, key: &SimKey) -> Vec<u8> {
     bump(&inner.metrics.simulations);
+    bump(match key.engine {
+        nvp_sim::ExecEngine::Step => &inner.metrics.runs_step,
+        nvp_sim::ExecEngine::BlockBudget => &inner.metrics.runs_block,
+        nvp_sim::ExecEngine::Compiled => &inner.metrics.runs_compiled,
+    });
     let request = key.run_request();
     let mut counters = CounterSink::new();
     let (report, trace_jsonl) = if key.trace {
@@ -413,6 +418,7 @@ pub(crate) fn render_report(key: &SimKey, report: &RunReport, trace: Option<&str
     let mut fields = vec![
         ("key", Json::str(key.canonical())),
         ("kernel", Json::str(key.kernel.name())),
+        ("engine", Json::str(crate::key::engine_tag(key.engine))),
         (
             "report",
             Json::obj(vec![

@@ -34,9 +34,9 @@ pub mod waitcompute;
 
 pub use energy::EnergyModel;
 pub use governor::{Governor, StaticBitsFloor};
-pub use quickrun::{instructions_per_frame, run_fixed};
+pub use quickrun::{instructions_per_frame, run_fixed, run_fixed_compiled};
 pub use system::{
-    BackupScope, CheckpointPlan, CommittedFrame, ExecEngine, ExecMode, IncidentalSetup, RunReport,
-    SystemConfig, SystemSim,
+    compile_kernel, BackupScope, CheckpointPlan, CommittedFrame, ExecEngine, ExecMode,
+    IncidentalSetup, RunReport, SystemConfig, SystemSim,
 };
 pub use waitcompute::{WaitComputeReport, WaitComputeSim};

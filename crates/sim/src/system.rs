@@ -14,7 +14,7 @@ use crate::governor::{BitsTracker, Governor, StaticBitsFloor};
 use crate::resume::{PendingFrame, ResumeController, PARK_SLOTS};
 use nvp_analysis::BackupLiveness;
 use nvp_isa::approx::FULL_BITS;
-use nvp_isa::{ApproxConfig, StepEvent, Vm, NUM_REGS};
+use nvp_isa::{ApproxConfig, ChainEvent, CompiledProgram, StepEvent, Vm, NUM_REGS};
 use nvp_kernels::KernelSpec;
 use nvp_nvm::backup::decay_region_traced;
 use nvp_nvm::RetentionPolicy;
@@ -191,7 +191,7 @@ impl RunReport {
 
 /// How the run loop schedules capacitor checks against the instruction
 /// stream.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
 pub enum ExecEngine {
     /// Check the reserve before every instruction (the reference engine).
     #[default]
@@ -210,6 +210,17 @@ pub enum ExecEngine {
     /// bypassed entirely in incidental mode (merge probes need
     /// per-instruction control anyway).
     BlockBudget,
+    /// [`ExecEngine::BlockBudget`] arming plus pre-decoded execution:
+    /// certificate-proven instructions dispatch through the kernel's
+    /// [`CompiledProgram`] superinstruction table (fused decode, hoisted
+    /// bounds checks, direct-threaded fn-pointer dispatch — see
+    /// `nvp_isa::compiled`) instead of the fetch/decode interpreter.
+    /// Unarmed stretches — any pc where a power interrupt can still land —
+    /// and pcs the table does not cover fall back to [`Vm::step`], as does
+    /// incidental mode entirely. Energy is drained per instruction in the
+    /// same order as both other engines, and the compiled ops replicate
+    /// stepping bit-for-bit, so reports and traces stay byte-identical.
+    Compiled,
 }
 
 /// How much architectural state a backup persists.
@@ -357,6 +368,10 @@ pub struct SystemSim {
     /// Per-class instruction energies at the last-seen approximation
     /// configuration (invalidated whenever the configuration changes).
     class_cache: Option<(ApproxConfig, [Energy; 6])>,
+    /// Pre-decoded superinstruction table for [`ExecEngine::Compiled`].
+    /// Injected via [`SystemSim::set_compiled`] (the repro catalog shares
+    /// one per kernel) or compiled lazily at run start.
+    compiled: Option<Arc<CompiledProgram>>,
     /// Per-pc live register sets (drives `BackupScope::LiveOnly`).
     backup_liveness: BackupLiveness,
     /// Per-pc `live ∩ dirty` masks (drives `BackupScope::LiveDirty`): the
@@ -419,7 +434,11 @@ impl SystemSim {
                     mem_words: spec.mem_words,
                     ..Default::default()
                 };
-                Some(nvp_analysis::synthesize(&spec.program, &acfg, &opts).synthesized.masks)
+                Some(
+                    nvp_analysis::synthesize(&spec.program, &acfg, &opts)
+                        .synthesized
+                        .masks,
+                )
             }
             _ => None,
         };
@@ -460,12 +479,36 @@ impl SystemSim {
             backup_cost_by_bits,
             block_suffix,
             class_cache: None,
+            compiled: None,
             backup_liveness,
             dirty_masks,
             static_floor,
             rng,
             report: RunReport::default(),
         }
+    }
+
+    /// Injects a pre-compiled superinstruction table for
+    /// [`ExecEngine::Compiled`], so fleets of runs over one kernel share a
+    /// single compilation (the repro catalog memoises these per kernel).
+    /// Without injection the simulator compiles lazily at run start.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table was compiled for a different program length or
+    /// data-memory size than this simulator's kernel.
+    pub fn set_compiled(&mut self, compiled: Arc<CompiledProgram>) {
+        assert_eq!(
+            compiled.len(),
+            self.spec.program.len(),
+            "compiled table does not match the kernel program"
+        );
+        assert_eq!(
+            compiled.mem_words(),
+            self.spec.mem_words,
+            "compiled table does not match the kernel memory size"
+        );
+        self.compiled = Some(compiled);
     }
 
     /// The resolved static safe-bits floor this run clamps against
@@ -644,8 +687,9 @@ impl SystemSim {
         // beats silently under-persisting).
         let frac = match self.cfg.backup_scope {
             BackupScope::FullState => None,
-            BackupScope::LiveOnly => (pc < self.spec.program.len())
-                .then(|| self.backup_liveness.live_fraction(pc)),
+            BackupScope::LiveOnly => {
+                (pc < self.spec.program.len()).then(|| self.backup_liveness.live_fraction(pc))
+            }
             BackupScope::LiveDirty => self
                 .dirty_masks
                 .as_ref()
@@ -1008,7 +1052,19 @@ impl SystemSim {
         self.report.on_ticks += 1;
         let bits = self.live_data_bits().min(8) as usize;
         self.report.bit_utilization[bits] += 1;
-        let block_mode = self.cfg.exec_engine == ExecEngine::BlockBudget && !self.is_incidental();
+        // Both certificate engines are bypassed in incidental mode (merge
+        // probes need per-instruction control anyway).
+        let engine = if self.is_incidental() {
+            ExecEngine::Step
+        } else {
+            self.cfg.exec_engine
+        };
+        let block_mode = engine != ExecEngine::Step;
+        let comp = if engine == ExecEngine::Compiled {
+            self.compiled.clone()
+        } else {
+            None
+        };
         // Instructions whose reserve check is pre-proven by a block-suffix
         // certificate. The proof only spans code where nothing recharges
         // the capacitor or resizes the reserve, so it never outlives the
@@ -1019,54 +1075,92 @@ impl SystemSim {
             if self.is_incidental() {
                 self.try_merge(tick, tracer);
             }
-            let Some(instr) = self.vm.peek() else {
-                // Defensive: treat running off the end as frame completion.
-                self.commit_frames(tick, tracer);
-                armed = 0;
-                continue;
-            };
             let cfg = self.vm.approx();
-            let e = if block_mode {
+            // Armed instructions at covered pcs dispatch through the
+            // superinstruction table: no fetch, no decode, no reserve
+            // check (the certificate pre-proved it). Everything else —
+            // unarmed stretches where an interrupt can land, pcs past a
+            // compile limit, the other engines — goes through the step
+            // interpreter path below.
+            let chain = armed > 0 && comp.as_deref().is_some_and(|c| c.covers(self.vm.pc()));
+            let (e, klass) = if chain {
+                let klass = comp
+                    .as_deref()
+                    .expect("chain implies table")
+                    .class_of(self.vm.pc());
                 let table = self.class_energies(&cfg);
-                let e = table[instr.class().index()];
-                if armed > 0 {
-                    armed -= 1;
-                    debug_assert!(
-                        self.cap.level() >= self.reserve() + e,
-                        "block certificate must imply the per-instruction check"
-                    );
-                } else {
-                    let (counts, n) = self.block_suffix[self.vm.pc()];
-                    let affordable = n >= 2 && {
-                        let mut suffix = Energy::ZERO;
-                        for (class, &count) in counts.iter().enumerate() {
-                            suffix += table[class] * count as f64;
+                let e = table[klass.index()];
+                armed -= 1;
+                debug_assert!(
+                    self.cap.level() >= self.reserve() + e,
+                    "block certificate must imply the per-instruction check"
+                );
+                (e, klass)
+            } else {
+                let Some(instr) = self.vm.peek() else {
+                    // Defensive: treat running off the end as frame completion.
+                    self.commit_frames(tick, tracer);
+                    armed = 0;
+                    continue;
+                };
+                let klass = instr.class();
+                let e = if block_mode {
+                    let table = self.class_energies(&cfg);
+                    let e = table[klass.index()];
+                    if armed > 0 {
+                        armed -= 1;
+                        debug_assert!(
+                            self.cap.level() >= self.reserve() + e,
+                            "block certificate must imply the per-instruction check"
+                        );
+                    } else {
+                        let (counts, n) = self.block_suffix[self.vm.pc()];
+                        let affordable = n >= 2 && {
+                            let mut suffix = Energy::ZERO;
+                            for (class, &count) in counts.iter().enumerate() {
+                                suffix += table[class] * count as f64;
+                            }
+                            self.cap.level() >= self.reserve() + suffix
+                        };
+                        if affordable {
+                            armed = n - 1;
+                        } else if self.cap.level() < self.reserve() + e {
+                            self.do_backup(tick, cursor, tracer);
+                            return;
                         }
-                        self.cap.level() >= self.reserve() + suffix
-                    };
-                    if affordable {
-                        armed = n - 1;
-                    } else if self.cap.level() < self.reserve() + e {
+                    }
+                    e
+                } else {
+                    let e = self.cfg.energy.instr_energy(klass, &cfg);
+                    if self.cap.level() < self.reserve() + e {
                         self.do_backup(tick, cursor, tracer);
                         return;
                     }
-                }
-                e
-            } else {
-                let e = self.cfg.energy.instr_energy(instr.class(), &cfg);
-                if self.cap.level() < self.reserve() + e {
-                    self.do_backup(tick, cursor, tracer);
-                    return;
-                }
-                e
+                    e
+                };
+                (e, klass)
             };
             // Drain per instruction even under a block certificate: the
-            // sequential f64 subtractions are what keep BlockBudget runs
-            // bit-identical to Step runs.
+            // sequential f64 subtractions are what keep BlockBudget and
+            // Compiled runs bit-identical to Step runs.
             let drained = self.cap.try_drain(e);
             debug_assert!(drained, "reserve check guarantees energy");
             self.report.energy_compute += e;
-            let ev = self.vm.step().expect("kernel programs must not fault");
+            let ev = if chain {
+                // The compiled op replicates Vm::step exactly (state,
+                // counters, pc); only fetch/decode/dispatch differ.
+                let c = comp.as_deref().expect("chain implies table");
+                match c
+                    .step_vm(&mut self.vm)
+                    .expect("kernel programs must not fault")
+                {
+                    ChainEvent::Executed => StepEvent::Executed(klass),
+                    ChainEvent::FrameDone => StepEvent::FrameDone,
+                    ChainEvent::Halted => StepEvent::Halted,
+                }
+            } else {
+                self.vm.step().expect("kernel programs must not fault")
+            };
             self.report.instructions_retired += 1;
             self.report.forward_progress += cfg.lanes as u64;
             cycles += ev.cycles().max(1);
@@ -1109,6 +1203,12 @@ impl SystemSim {
     /// - run end: a final `energy_flush` followed by `run_end` carrying the
     ///   report's totals, which makes every complete trace self-checking.
     pub fn run_traced(mut self, profile: &PowerProfile, tracer: &mut dyn Tracer) -> RunReport {
+        if self.cfg.exec_engine == ExecEngine::Compiled && self.compiled.is_none() {
+            self.compiled = Some(Arc::new(compile_kernel(
+                &self.spec.program,
+                self.spec.mem_words,
+            )));
+        }
         let mut cursor = FlushCursor::new();
         let mut monitor = VoltageMonitor::new();
         let mut bits_tracker = BitsTracker::new();
@@ -1178,6 +1278,19 @@ impl SystemSim {
         });
         report
     }
+}
+
+/// Pre-decodes `program` into a superinstruction table for
+/// [`ExecEngine::Compiled`], feeding the interval analysis' in-range
+/// proofs into the bounds-check hoisting (see `nvp_analysis::hints`).
+///
+/// Compilation is pure and deterministic; share the result behind an
+/// `Arc` across every run of the same kernel (the repro catalog memoises
+/// exactly that).
+pub fn compile_kernel(program: &nvp_isa::Program, mem_words: usize) -> CompiledProgram {
+    let cfg = nvp_analysis::Cfg::build(program);
+    let hints = nvp_analysis::compile_hints(program, &cfg, mem_words);
+    CompiledProgram::compile(program, mem_words, &hints)
 }
 
 #[cfg(test)]
@@ -1380,10 +1493,7 @@ mod tests {
         let full = run(BackupScope::FullState, None);
         let live = run(BackupScope::LiveOnly, None);
         let dirty = run(BackupScope::LiveDirty, None);
-        let planned = run(
-            BackupScope::LiveDirty,
-            Some(synthesized_plan(id, 16, 16)),
-        );
+        let planned = run(BackupScope::LiveDirty, Some(synthesized_plan(id, 16, 16)));
         assert!(full.backups > 0, "need emergencies to compare scopes");
         let golden = id.golden(&small_frames(id, 16, 16, 1)[0], 16, 16);
         for (name, rep) in [
@@ -1452,8 +1562,7 @@ mod tests {
                     "{name}@{profile:?}: scoped run made no progress"
                 );
                 for c in &rep.committed {
-                    let golden = id
-                        .golden(&frames[c.input_index as usize % frames.len()], 8, 8);
+                    let golden = id.golden(&frames[c.input_index as usize % frames.len()], 8, 8);
                     assert_eq!(
                         c.output, golden,
                         "{name}@{profile:?}: scope changed frame {} output",
@@ -1462,9 +1571,8 @@ mod tests {
                 }
                 // Ledger reconciliation: spend + saved == backups × the
                 // constant full-scope cost per backup.
-                let implied =
-                    (rep.energy_backup.as_nj() + rep.energy_backup_saved.as_nj())
-                        / rep.backups as f64;
+                let implied = (rep.energy_backup.as_nj() + rep.energy_backup_saved.as_nj())
+                    / rep.backups as f64;
                 assert!(
                     (implied - full_per_backup).abs() < 1e-9,
                     "{name}@{profile:?}: ledger does not reconcile: \
@@ -1508,7 +1616,10 @@ mod tests {
         let (degraded, degraded_events) = run(Some(empty_plan), BackupScope::LiveDirty);
         assert!(full.backups > 0);
         assert_eq!(degraded.backups, full.backups);
-        assert_eq!(degraded.outputs_for(0)[0].output, full.outputs_for(0)[0].output);
+        assert_eq!(
+            degraded.outputs_for(0)[0].output,
+            full.outputs_for(0)[0].output
+        );
         // Degraded backups cost exactly what full-state ones do.
         assert_eq!(degraded.energy_backup, full.energy_backup);
         assert_eq!(degraded.energy_backup_saved, Energy::ZERO);
