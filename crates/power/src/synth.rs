@@ -195,6 +195,27 @@ impl WatchProfile {
         0x1C1D_E17A_1000 + self.index() as u64
     }
 
+    /// Deterministic seed for family member `member` of this profile.
+    ///
+    /// A *family* is the population of traces sharing one profile's
+    /// calibration (same harvester statistics, different wearers): member
+    /// `m` reuses the profile's [`SynthParams`] with an independent RNG
+    /// stream. Member 0 is exactly [`seed`](Self::seed), so the canonical
+    /// paper trace is member 0 of its own family. Members are decorrelated
+    /// with a splitmix64-style finalizer rather than a plain offset, so
+    /// neighbouring members share no low-bit structure.
+    pub fn family_seed(self, member: u32) -> u64 {
+        if member == 0 {
+            return self.seed();
+        }
+        let mut z = self
+            .seed()
+            .wrapping_add(0x9E37_79B9_7F4A_7C15u64.wrapping_mul(member as u64));
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
     /// Synthesizes this profile for `n` ticks.
     pub fn synthesize(self, n: Ticks) -> PowerProfile {
         TraceSynthesizer::new(self.params(), self.seed()).synthesize(n)
@@ -203,6 +224,14 @@ impl WatchProfile {
     /// Synthesizes this profile for a duration in seconds.
     pub fn synthesize_seconds(self, seconds: f64) -> PowerProfile {
         self.synthesize(Ticks::from_seconds(seconds))
+    }
+
+    /// Synthesizes family member `member` of this profile for a duration in
+    /// seconds. Member 0 is byte-identical to
+    /// [`synthesize_seconds`](Self::synthesize_seconds).
+    pub fn synthesize_seconds_member(self, seconds: f64, member: u32) -> PowerProfile {
+        TraceSynthesizer::new(self.params(), self.family_seed(member))
+            .synthesize(Ticks::from_seconds(seconds))
     }
 }
 
@@ -426,6 +455,52 @@ mod tests {
             ..Default::default()
         };
         let _ = TraceSynthesizer::new(p, 0);
+    }
+
+    #[test]
+    fn family_member_zero_is_the_canonical_trace() {
+        for w in WatchProfile::ALL {
+            assert_eq!(w.family_seed(0), w.seed());
+            assert_eq!(
+                w.synthesize_seconds_member(0.2, 0),
+                w.synthesize_seconds(0.2)
+            );
+        }
+    }
+
+    #[test]
+    fn family_members_are_distinct_and_deterministic() {
+        let seeds: Vec<u64> = (0..64).map(|m| WatchProfile::P3.family_seed(m)).collect();
+        let mut uniq = seeds.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq.len(), seeds.len(), "family seeds must not collide");
+        // Families of different profiles never share a member seed either.
+        assert_ne!(
+            WatchProfile::P1.family_seed(5),
+            WatchProfile::P2.family_seed(5)
+        );
+        let a = WatchProfile::P2.synthesize_seconds_member(0.2, 3);
+        let b = WatchProfile::P2.synthesize_seconds_member(0.2, 3);
+        let c = WatchProfile::P2.synthesize_seconds_member(0.2, 4);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn family_members_keep_profile_statistics() {
+        // Different wearer, same harvester physics: members stay in the
+        // published income band of their profile.
+        for m in [1, 9] {
+            let mean = WatchProfile::P1
+                .synthesize_seconds_member(10.0, m)
+                .mean()
+                .as_uw();
+            assert!(
+                (8.0..=55.0).contains(&mean),
+                "member {m}: mean {mean:.1} µW outside plausible band"
+            );
+        }
     }
 
     #[test]

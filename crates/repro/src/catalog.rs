@@ -106,6 +106,21 @@ pub fn synth_profile(profile: WatchProfile, seconds: f64) -> Arc<PowerProfile> {
         .clone()
 }
 
+/// Synthesizes (or fetches) family member `member` of a watch profile's
+/// power trace — same harvester calibration, independent RNG stream per
+/// member (see [`WatchProfile::family_seed`]). Member 0 delegates to
+/// [`synth_profile`] so the canonical trace is cached once, not twice.
+pub fn synth_profile_member(profile: WatchProfile, seconds: f64, member: u32) -> Arc<PowerProfile> {
+    if member == 0 {
+        return synth_profile(profile, seconds);
+    }
+    static CACHE: Memo<(WatchProfile, u64, u32), Arc<PowerProfile>> = OnceLock::new();
+    lock_memo(&CACHE)
+        .entry((profile, seconds.to_bits(), member))
+        .or_insert_with(|| Arc::new(profile.synthesize_seconds_member(seconds, member)))
+        .clone()
+}
+
 /// One fully-specified simulation: kernel × scale × profile × mode.
 ///
 /// This is the plain-data request shape shared by `repro`'s experiment
@@ -208,6 +223,61 @@ mod tests {
         let p1 = synth_profile(WatchProfile::P2, 0.25);
         let p2 = synth_profile(WatchProfile::P2, 0.25);
         assert!(Arc::ptr_eq(&p1, &p2));
+    }
+
+    #[test]
+    fn family_member_zero_shares_the_canonical_cache_entry() {
+        let canonical = synth_profile(WatchProfile::P4, 0.2);
+        let member0 = synth_profile_member(WatchProfile::P4, 0.2, 0);
+        assert!(
+            Arc::ptr_eq(&canonical, &member0),
+            "member 0 must reuse the canonical entry, not duplicate it"
+        );
+        let m3a = synth_profile_member(WatchProfile::P4, 0.2, 3);
+        let m3b = synth_profile_member(WatchProfile::P4, 0.2, 3);
+        assert!(Arc::ptr_eq(&m3a, &m3b));
+        assert_ne!(*m3a, *canonical, "members must be distinct traces");
+    }
+
+    #[test]
+    fn lock_memo_recovers_from_poisoning() {
+        // Regression test for the recovery path in `lock_memo`: a worker
+        // dying while holding a memo lock must not wedge the cache for
+        // every later caller (the module docs promise exactly this).
+        static MEMO: Memo<u32, u32> = OnceLock::new();
+        lock_memo(&MEMO).insert(1, 10);
+        let err = std::thread::spawn(|| {
+            let _guard = lock_memo(&MEMO);
+            panic!("die while holding the memo lock");
+        })
+        .join();
+        assert!(err.is_err(), "worker must have panicked");
+        assert!(
+            MEMO.get().expect("initialized").lock().is_err(),
+            "lock must actually be poisoned for this test to mean anything"
+        );
+        // Recovery: subsequent callers still read and write the map.
+        assert_eq!(lock_memo(&MEMO).get(&1), Some(&10));
+        lock_memo(&MEMO).insert(2, 20);
+        assert_eq!(lock_memo(&MEMO).get(&2), Some(&20));
+    }
+
+    #[test]
+    fn public_memos_survive_a_poisoned_sibling() {
+        // Poisoning one memo table is local damage: every public cache
+        // accessor keeps working, because each recovers independently.
+        static DOOMED: Memo<u8, u8> = OnceLock::new();
+        let _ = std::thread::spawn(|| {
+            let _guard = lock_memo(&DOOMED);
+            panic!("poison");
+        })
+        .join();
+        let spec = cached_spec(KernelId::Sobel, 8, 8);
+        assert!(spec.mem_words > 0);
+        assert_eq!(frames_for(KernelId::Sobel, 8, 1).len(), 1);
+        assert!(!synth_profile(WatchProfile::P1, 0.2).is_empty());
+        assert!(!synth_profile_member(WatchProfile::P1, 0.2, 2).is_empty());
+        let _ = compiled_for(KernelId::Sobel, 8, 8);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   formatting matches the trace codec bit-for-bit;
 //! * [`key`] — request canonicalization into [`key::SimKey`]s;
 //! * [`cache`] — a sharded, LRU-bounded, single-flight body cache;
+//! * `fleet` — asynchronous fleet jobs (`POST /v1/fleet`, polled via
+//!   `GET /v1/fleet/{id}`), content-addressed by canonical spec;
 //! * [`http`] — a minimal HTTP/1.1 subset with read deadlines;
 //! * [`server`] — routing, admission control, and the drain path;
 //! * [`metrics`] — counters, latency quantiles, and folded trace
@@ -27,6 +29,7 @@
 
 pub mod bench;
 pub mod cache;
+pub(crate) mod fleet;
 pub mod http;
 pub mod json;
 pub mod key;

@@ -115,6 +115,20 @@ pub struct Metrics {
     pub runs_block: AtomicU64,
     /// Executed simulations that ran on the compiled engine.
     pub runs_compiled: AtomicU64,
+    /// Fleet jobs newly accepted by `POST /v1/fleet`.
+    pub fleet_jobs: AtomicU64,
+    /// Fleet POSTs answered by an already-registered job (same content
+    /// address — the spec hashed to an existing id).
+    pub fleet_deduped: AtomicU64,
+    /// Fleet jobs that ran to completion.
+    pub fleet_done: AtomicU64,
+    /// Fleet jobs that failed (fold error or worker panic).
+    pub fleet_failed: AtomicU64,
+    /// Chunks folded across all fleet jobs.
+    pub fleet_chunks_done: AtomicU64,
+    /// Gauge: chunks being simulated right now. A job folds its chunks
+    /// sequentially, so this equals the number of actively running jobs.
+    pub fleet_chunks_in_flight: AtomicU64,
     /// End-to-end latency of `/v1/run` requests.
     pub run_latency: LatencyHistogram,
     /// Folded trace summaries of every simulation served.
@@ -178,6 +192,27 @@ impl Metrics {
         line(
             "nvp_compile_total",
             nvp_repro::catalog::compile_count().to_string(),
+        );
+        // Fleet jobs: how many populations the service has run, and how
+        // much per-cell simulation the process-wide cell cache let
+        // overlapping fleets share instead of recompute.
+        for (name, counter) in [
+            ("nvp_fleet_jobs_total", &self.fleet_jobs),
+            ("nvp_fleet_jobs_deduped_total", &self.fleet_deduped),
+            ("nvp_fleet_jobs_done_total", &self.fleet_done),
+            ("nvp_fleet_jobs_failed_total", &self.fleet_failed),
+            ("nvp_fleet_chunks_done_total", &self.fleet_chunks_done),
+            ("nvp_fleet_chunks_in_flight", &self.fleet_chunks_in_flight),
+        ] {
+            line(name, read(counter).to_string());
+        }
+        line(
+            "nvp_fleet_cells_computed_total",
+            nvp_fleet::cells_computed().to_string(),
+        );
+        line(
+            "nvp_fleet_cells_shared_total",
+            nvp_fleet::cells_shared().to_string(),
         );
         line("nvp_queue_depth", queue_depth.to_string());
         line("nvp_cache_entries", cache_len.to_string());

@@ -68,12 +68,13 @@ impl Default for ServerConfig {
     }
 }
 
-struct Inner {
+pub(crate) struct Inner {
     config: ServerConfig,
     cache: Arc<ResultCache>,
-    metrics: Arc<Metrics>,
+    pub(crate) metrics: Arc<Metrics>,
     /// `shutdown(self)` consumes the pool, so it lives behind an Option.
-    pool: Mutex<Option<ServicePool>>,
+    pub(crate) pool: Mutex<Option<ServicePool>>,
+    pub(crate) fleet: crate::fleet::FleetJobs,
     draining: AtomicBool,
     active: AtomicUsize,
 }
@@ -94,6 +95,7 @@ impl Server {
             cache: ResultCache::new(config.cache),
             metrics: Arc::new(Metrics::default()),
             pool: Mutex::new(Some(ServicePool::new(config.workers, config.queue))),
+            fleet: crate::fleet::FleetJobs::default(),
             draining: AtomicBool::new(false),
             active: AtomicUsize::new(0),
             config,
@@ -177,7 +179,7 @@ impl Server {
 }
 
 /// Renders the standard structured error body.
-fn error_body(field: &str, detail: &str) -> Vec<u8> {
+pub(crate) fn error_body(field: &str, detail: &str) -> Vec<u8> {
     Json::obj(vec![(
         "error",
         Json::obj(vec![
@@ -262,8 +264,19 @@ fn route(inner: &Arc<Inner>, request: &Request) -> Response {
         ("GET", "/v1/kernels") => kernels_response(),
         ("POST", "/v1/run") => handle_run(inner, &request.body),
         ("POST", "/v1/sweep") => handle_sweep(inner, &request.body),
+        ("POST", "/v1/fleet") => crate::fleet::handle_post(inner, &request.body),
+        ("GET", path)
+            if path
+                .strip_prefix("/v1/fleet/")
+                .is_some_and(|id| !id.is_empty()) =>
+        {
+            crate::fleet::handle_get(inner, path.strip_prefix("/v1/fleet/").unwrap())
+        }
         ("POST", "/shutdown") => Response::new(200).text("draining\n"),
-        ("GET", "/v1/run") | ("GET", "/v1/sweep") | ("POST", "/v1/kernels") => {
+        ("GET", "/v1/run")
+        | ("GET", "/v1/sweep")
+        | ("GET", "/v1/fleet")
+        | ("POST", "/v1/kernels") => {
             Response::new(405).json(error_body("method", "method not allowed on this route"))
         }
         _ => Response::new(404).json(error_body("path", "no such route")),

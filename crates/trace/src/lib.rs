@@ -39,6 +39,7 @@ pub use sink::{
     emit, CounterSink, JsonlBufSink, JsonlSink, NoopTracer, RingSink, TeeSink, Tracer, VecSink,
 };
 pub use summary::{
-    EnergyLedger, Histogram, LedgerMismatch, ReadError, RunEndTotals, RunSummary, TraceSummary,
+    EnergyLedger, Histogram, LedgerMismatch, MergeError, ReadError, RunEndTotals, RunSummary,
+    TraceSummary,
 };
 pub use timeline::{render as render_timeline, split_runs, TimelineRun};

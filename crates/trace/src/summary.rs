@@ -104,13 +104,41 @@ impl fmt::Display for LedgerMismatch {
     }
 }
 
+/// Two same-shaped aggregates cannot be folded together.
+///
+/// Returned by the `checked_merge` family when the receiver and the donor
+/// were built with different bucket geometry — folding them bin-by-bin
+/// would silently mix incompatible value ranges into one curve.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MergeError {
+    /// Bucket unit of the histogram being merged into.
+    pub ours: u64,
+    /// Bucket unit of the histogram being merged from.
+    pub theirs: u64,
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "histogram bucket units differ: {} vs {} (refusing to misfold)",
+            self.ours, self.theirs
+        )
+    }
+}
+
+impl std::error::Error for MergeError {}
+
 /// Power-of-two-binned histogram of tick counts.
 ///
-/// Bin `i` holds samples in `[2^(i-1), 2^i)` ticks, with bin 0 holding the
-/// value 0. Good enough resolution for outage durations spanning 1 tick to
-/// minutes, in 32 fixed bins.
+/// Bin `i` holds samples whose unit-scaled value `v = value / unit` lies in
+/// `[2^(i-1), 2^i)`, with bin 0 holding `v == 0`. The default unit is 1
+/// (values are binned directly); population aggregators use coarser units
+/// to bin nanojoule- or milli-MSE-scaled metrics. Good enough resolution
+/// for quantities spanning many orders of magnitude, in 32 fixed bins.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
+    unit: u64,
     bins: [u64; Self::BINS],
     count: u64,
     sum: u64,
@@ -119,11 +147,20 @@ pub struct Histogram {
 }
 
 impl Histogram {
-    const BINS: usize = 32;
+    /// Number of fixed bins.
+    pub const BINS: usize = 32;
 
-    /// Creates an empty histogram.
+    /// Creates an empty histogram with unit bucket width.
     pub fn new() -> Self {
+        Self::with_unit(1)
+    }
+
+    /// Creates an empty histogram whose bucket boundaries are scaled by
+    /// `unit` (clamped to at least 1): bin `i` holds values in
+    /// `[unit·2^(i-1), unit·2^i)`.
+    pub fn with_unit(unit: u64) -> Self {
         Histogram {
+            unit: unit.max(1),
             bins: [0; Self::BINS],
             count: 0,
             sum: 0,
@@ -132,16 +169,32 @@ impl Histogram {
         }
     }
 
+    /// The bucket unit this histogram was built with.
+    pub fn unit(&self) -> u64 {
+        self.unit
+    }
+
     /// Records one sample.
     pub fn record(&mut self, value: u64) {
-        let bin = if value == 0 {
+        self.record_n(value, 1);
+    }
+
+    /// Records `n` identical samples in one fold (used by population
+    /// aggregation, where a whole cohort of devices shares one outcome).
+    /// `n == 0` is a no-op.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let scaled = value / self.unit;
+        let bin = if scaled == 0 {
             0
         } else {
-            ((64 - value.leading_zeros()) as usize).min(Self::BINS - 1)
+            ((64 - scaled.leading_zeros()) as usize).min(Self::BINS - 1)
         };
-        self.bins[bin] += 1;
-        self.count += 1;
-        self.sum += value;
+        self.bins[bin] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
         self.min = self.min.min(value);
         self.max = self.max.max(value);
     }
@@ -172,15 +225,123 @@ impl Histogram {
 
     /// Folds another histogram into this one (bin-wise sum; min/max/mean
     /// combine as if every sample had been recorded here).
+    ///
+    /// Assumes both histograms share one bucket unit; when that is not
+    /// statically guaranteed, use [`checked_merge`](Self::checked_merge),
+    /// which surfaces the mismatch instead of misfolding.
     pub fn merge(&mut self, other: &Histogram) {
         for (mine, theirs) in self.bins.iter_mut().zip(other.bins.iter()) {
             *mine += theirs;
         }
         self.count += other.count;
-        self.sum += other.sum;
+        self.sum = self.sum.saturating_add(other.sum);
         if other.count > 0 {
             self.min = self.min.min(other.min);
             self.max = self.max.max(other.max);
+        }
+    }
+
+    /// [`merge`](Self::merge) that refuses bucket-unit mismatches: two
+    /// histograms binned at different units describe different value
+    /// grids, and a bin-wise sum of them is meaningless. Nothing is folded
+    /// on error.
+    pub fn checked_merge(&mut self, other: &Histogram) -> Result<(), MergeError> {
+        self.mergeable(other)?;
+        self.merge(other);
+        Ok(())
+    }
+
+    /// Folds `other` in `n` times over — as if every one of its samples
+    /// had been recorded here `n` times. Used for population-weighted
+    /// aggregation where one simulated outcome stands for `n` devices.
+    /// Refuses bucket-unit mismatches; `n == 0` verifies compatibility
+    /// but folds nothing.
+    pub fn merge_weighted(&mut self, other: &Histogram, n: u64) -> Result<(), MergeError> {
+        self.mergeable(other)?;
+        if n == 0 {
+            return Ok(());
+        }
+        for (mine, theirs) in self.bins.iter_mut().zip(other.bins.iter()) {
+            *mine += theirs.saturating_mul(n);
+        }
+        self.count += other.count.saturating_mul(n);
+        self.sum = self.sum.saturating_add(other.sum.saturating_mul(n));
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        Ok(())
+    }
+
+    fn mergeable(&self, other: &Histogram) -> Result<(), MergeError> {
+        if self.unit != other.unit {
+            return Err(MergeError {
+                ours: self.unit,
+                theirs: other.unit,
+            });
+        }
+        Ok(())
+    }
+
+    /// Inclusive upper bound of the bucket containing quantile `q`
+    /// (0..=1), in value units. `None` when empty. The bound overestimates
+    /// the true quantile by at most 2× — the honest resolution of a log2
+    /// histogram.
+    pub fn quantile(&self, q: f64) -> Option<u64> {
+        if self.count == 0 {
+            return None;
+        }
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &n) in self.bins.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Some(if i == 0 {
+                    self.unit - 1
+                } else {
+                    self.unit
+                        .saturating_mul(1u64 << i.min(63))
+                        .saturating_sub(1)
+                });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Raw bin counts, for aggregation-state persistence.
+    pub fn bins(&self) -> &[u64] {
+        &self.bins
+    }
+
+    /// Raw sample sum, for aggregation-state persistence.
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Raw `(min, max)` fields exactly as stored (`min == u64::MAX` when
+    /// empty), for aggregation-state persistence.
+    pub fn extremes_raw(&self) -> (u64, u64) {
+        (self.min, self.max)
+    }
+
+    /// Reassembles a histogram from persisted parts (the exact values the
+    /// raw accessors returned — no validation beyond clamping the unit).
+    /// This is the decode half of snapshot/resume support; a round trip
+    /// through the raw accessors is identity.
+    pub fn from_parts(
+        unit: u64,
+        bins: [u64; Self::BINS],
+        count: u64,
+        sum: u64,
+        (min, max): (u64, u64),
+    ) -> Self {
+        Histogram {
+            unit: unit.max(1),
+            bins,
+            count,
+            sum,
+            min,
+            max,
         }
     }
 
@@ -373,6 +534,74 @@ impl TraceSummary {
         self.runs.extend(other.runs.iter().cloned());
         self.retention_failures += other.retention_failures;
         self.last_backup_tick = other.last_backup_tick;
+    }
+
+    /// [`merge`](Self::merge) that refuses histogram bucket-unit
+    /// mismatches instead of silently misfolding them. Nothing is folded
+    /// on error (both histograms are verified before either is touched).
+    pub fn checked_merge(&mut self, other: &TraceSummary) -> Result<(), MergeError> {
+        self.inter_backup.mergeable(&other.inter_backup)?;
+        self.outage_duration.mergeable(&other.outage_duration)?;
+        self.merge(other);
+        Ok(())
+    }
+
+    /// Folds `other` in `n` times over, as if its event stream had been
+    /// observed here `n` times: counts, ledger, histograms and retention
+    /// failures all scale by `n`. The per-run breakdown is **not**
+    /// carried (a weighted fold has no meaningful per-run identity), and
+    /// the inter-backup seam never bridges the two summaries. Used for
+    /// population aggregation where one simulated device outcome stands
+    /// for `n` identical devices. Refuses bucket-unit mismatches.
+    pub fn merge_weighted(&mut self, other: &TraceSummary, n: u64) -> Result<(), MergeError> {
+        self.inter_backup.mergeable(&other.inter_backup)?;
+        self.outage_duration.mergeable(&other.outage_duration)?;
+        if n == 0 {
+            return Ok(());
+        }
+        let w = n as f64;
+        for (mine, theirs) in self.counts.iter_mut().zip(other.counts.iter()) {
+            *mine += theirs.saturating_mul(n);
+        }
+        let o = &other.ledger;
+        self.ledger.income_nj += o.income_nj * w;
+        self.ledger.compute_nj += o.compute_nj * w;
+        self.ledger.backup_nj += o.backup_nj * w;
+        self.ledger.restore_nj += o.restore_nj * w;
+        self.ledger.saved_nj += o.saved_nj * w;
+        self.inter_backup.merge_weighted(&other.inter_backup, n)?;
+        self.outage_duration
+            .merge_weighted(&other.outage_duration, n)?;
+        self.retention_failures += other.retention_failures.saturating_mul(n);
+        Ok(())
+    }
+
+    /// Per-kind event counts indexed by [`EventKind::index`], for
+    /// aggregation-state persistence.
+    pub fn kind_counts(&self) -> &[u64; EventKind::COUNT] {
+        &self.counts
+    }
+
+    /// Reassembles a summary from persisted aggregate parts. The per-run
+    /// breakdown and the inter-backup seam state are not persisted — a
+    /// restored summary is an *aggregate* (fold target), not a replayable
+    /// event stream.
+    pub fn from_parts(
+        counts: [u64; EventKind::COUNT],
+        ledger: EnergyLedger,
+        inter_backup: Histogram,
+        outage_duration: Histogram,
+        retention_failures: u64,
+    ) -> Self {
+        TraceSummary {
+            counts,
+            ledger,
+            inter_backup,
+            outage_duration,
+            runs: Vec::new(),
+            retention_failures,
+            last_backup_tick: None,
+        }
     }
 
     /// Count of one event kind.
@@ -629,6 +858,188 @@ mod tests {
         let before = a.clone();
         a.merge(&empty);
         assert_eq!(a, before, "merging an empty histogram is a no-op");
+    }
+
+    #[test]
+    fn record_n_equals_repeated_record() {
+        let mut weighted = Histogram::with_unit(10);
+        let mut repeated = Histogram::with_unit(10);
+        for v in [0, 9, 10, 25, 4000] {
+            weighted.record_n(v, 3);
+            for _ in 0..3 {
+                repeated.record(v);
+            }
+        }
+        assert_eq!(weighted, repeated);
+        let before = weighted.clone();
+        weighted.record_n(77, 0);
+        assert_eq!(weighted, before, "zero-weight record is a no-op");
+    }
+
+    #[test]
+    fn checked_merge_rejects_unit_mismatch() {
+        let mut fine = Histogram::with_unit(1);
+        let mut coarse = Histogram::with_unit(100);
+        fine.record(3);
+        coarse.record(300);
+        let err = fine.checked_merge(&coarse).unwrap_err();
+        assert_eq!(
+            err,
+            MergeError {
+                ours: 1,
+                theirs: 100
+            }
+        );
+        assert!(err.to_string().contains("bucket units differ"));
+        // Nothing was folded on the failure path.
+        assert_eq!(fine.count(), 1);
+        let mut same = Histogram::with_unit(100);
+        same.record(5000);
+        coarse.checked_merge(&same).unwrap();
+        assert_eq!(coarse.count(), 2);
+    }
+
+    #[test]
+    fn histogram_merge_weighted_scales_counts() {
+        let mut base = Histogram::with_unit(2);
+        base.record(6);
+        let mut other = Histogram::with_unit(2);
+        other.record(1);
+        other.record(40);
+        base.merge_weighted(&other, 5).unwrap();
+        assert_eq!(base.count(), 11);
+        assert_eq!(base.min(), Some(1));
+        assert_eq!(base.max(), Some(40));
+        assert_eq!(base.sum(), 6 + 5 * 41);
+        // n = 1 is exactly a checked merge.
+        let mut a = Histogram::new();
+        a.record(9);
+        let mut b = a.clone();
+        let mut add = Histogram::new();
+        add.record(17);
+        a.checked_merge(&add).unwrap();
+        b.merge_weighted(&add, 1).unwrap();
+        assert_eq!(a, b);
+        // n = 0 still validates compatibility but folds nothing.
+        let before = a.clone();
+        a.merge_weighted(&add, 0).unwrap();
+        assert_eq!(a, before);
+        assert!(a.merge_weighted(&Histogram::with_unit(7), 0).is_err());
+    }
+
+    #[test]
+    fn quantile_reports_bucket_upper_bounds() {
+        assert_eq!(Histogram::new().quantile(0.5), None);
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        // Ranks 1..=4 land in bins [1,2), [2,4), [2,4), [64,128): the
+        // quantile is the inclusive upper bound of the covering bucket.
+        assert_eq!(h.quantile(0.25), Some(1));
+        assert_eq!(h.quantile(0.5), Some(3));
+        assert_eq!(h.quantile(0.75), Some(3));
+        assert_eq!(h.quantile(1.0), Some(127));
+        // Unit scaling widens every bucket by the unit.
+        let mut u = Histogram::with_unit(1000);
+        u.record(500);
+        u.record(2500);
+        assert_eq!(u.quantile(0.5), Some(999));
+        assert_eq!(u.quantile(1.0), Some(3999));
+    }
+
+    #[test]
+    fn histogram_from_parts_round_trips() {
+        let mut h = Histogram::with_unit(4);
+        for v in [0, 3, 9, 250, 7777] {
+            h.record_n(v, v + 1);
+        }
+        let mut bins = [0u64; Histogram::BINS];
+        bins.copy_from_slice(h.bins());
+        let rebuilt = Histogram::from_parts(h.unit(), bins, h.count(), h.sum(), h.extremes_raw());
+        assert_eq!(rebuilt, h);
+        assert_eq!(
+            Histogram::from_parts(1, [0; Histogram::BINS], 0, 0, (u64::MAX, 0)).min(),
+            None
+        );
+    }
+
+    #[test]
+    fn summary_checked_merge_guards_both_histograms() {
+        let mut a = TraceSummary::new();
+        a.observe(&backup(10, 1.0));
+        let mut b = TraceSummary::new();
+        b.observe(&backup(20, 2.0));
+        a.checked_merge(&b).unwrap();
+        assert_eq!(a.count(EventKind::Backup), 2);
+        // A summary rebuilt with mismatched units must be refused whole.
+        let odd = TraceSummary::from_parts(
+            [0; EventKind::COUNT],
+            EnergyLedger::default(),
+            Histogram::new(),
+            Histogram::with_unit(50),
+            0,
+        );
+        let before = a.clone();
+        assert!(a.checked_merge(&odd).is_err());
+        assert_eq!(a, before, "failed merge must fold nothing");
+    }
+
+    #[test]
+    fn summary_merge_weighted_matches_n_plain_merges() {
+        let mut src = TraceSummary::new();
+        src.observe(&Event::RunStart {
+            tick: 0,
+            label: "w".into(),
+        });
+        src.observe(&backup(100, 10.0));
+        src.observe(&backup(160, 12.0));
+        src.observe(&Event::OutageEnd {
+            tick: 200,
+            duration: 40,
+        });
+        src.observe(&Event::RetentionDecay {
+            tick: 200,
+            bit: 1,
+            failures: 2,
+        });
+        let mut plain = TraceSummary::new();
+        for _ in 0..3 {
+            plain.merge(&src);
+        }
+        let mut weighted = TraceSummary::new();
+        weighted.merge_weighted(&src, 3).unwrap();
+        assert_eq!(weighted.kind_counts(), plain.kind_counts());
+        assert_eq!(weighted.ledger, plain.ledger);
+        assert_eq!(weighted.inter_backup, plain.inter_backup);
+        assert_eq!(weighted.outage_duration, plain.outage_duration);
+        assert_eq!(weighted.retention_failures, plain.retention_failures);
+        assert!(weighted.runs.is_empty(), "weighted folds carry no runs");
+        // Zero weight folds nothing.
+        let before = weighted.clone();
+        weighted.merge_weighted(&src, 0).unwrap();
+        assert_eq!(weighted, before);
+    }
+
+    #[test]
+    fn summary_from_parts_rebuilds_aggregate() {
+        let mut src = TraceSummary::new();
+        src.observe(&backup(10, 4.0));
+        src.observe(&Event::OutageEnd {
+            tick: 50,
+            duration: 9,
+        });
+        let rebuilt = TraceSummary::from_parts(
+            *src.kind_counts(),
+            src.ledger,
+            src.inter_backup.clone(),
+            src.outage_duration.clone(),
+            src.retention_failures,
+        );
+        assert_eq!(rebuilt.kind_counts(), src.kind_counts());
+        assert_eq!(rebuilt.ledger, src.ledger);
+        assert_eq!(rebuilt.outage_duration, src.outage_duration);
+        assert_eq!(rebuilt.total(), src.total());
     }
 
     #[test]
